@@ -1,0 +1,32 @@
+// Sec. 11.1.4 trade-off: buffer memory bought by extra actor appearances
+// (code size), after Sung et al. [25]. For each system, sweep the extra-
+// appearance budget and print the non-shared buffer-memory curve.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pipeline/compile.h"
+#include "sched/nappearance.h"
+
+int main() {
+  using namespace sdf;
+  std::printf(
+      "n-appearance trade-off: buffer memory vs extra code blocks\n\n"
+      "%-14s %9s | %8s %8s %8s %8s %8s\n",
+      "system", "SAS", "+8", "+32", "+128", "+512", "+2048");
+  for (const Graph& g : bench::table1_systems()) {
+    const Repetitions q = repetitions_vector(g);
+    const CompileResult res = compile(g);
+    std::printf("%-14s %9lld |", g.name().c_str(),
+                static_cast<long long>(res.nonshared_bufmem));
+    for (const std::int64_t budget : {8, 32, 128, 512, 2048}) {
+      const NAppearanceResult r =
+          relax_appearances(g, q, res.schedule, budget);
+      std::printf(" %8lld", static_cast<long long>(r.buffer_memory));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\neach column allows that many extra appearances over the SAS;\n"
+      "rewrites interleave innermost producer/consumer loop pairs.\n");
+  return 0;
+}

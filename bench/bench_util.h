@@ -1,0 +1,51 @@
+// Shared helpers for the experiment drivers.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graphs/filterbank.h"
+#include "graphs/ptolemy.h"
+#include "graphs/satellite.h"
+#include "sdf/graph.h"
+
+namespace sdf::bench {
+
+/// The practical benchmark suite of Table 1 (filterbank depths follow the
+/// paper's naming: qmf<rates>_<depth>d).
+inline std::vector<Graph> table1_systems() {
+  std::vector<Graph> systems;
+  systems.push_back(nqmf23(2));
+  systems.push_back(nqmf23(4));
+  systems.push_back(one_sided_filterbank(4, kRates12, "nqmf12_4d"));
+  systems.push_back(qmf23(2));
+  systems.push_back(qmf235(2));
+  systems.push_back(qmf12(2));
+  systems.push_back(qmf23(3));
+  systems.push_back(qmf235(3));
+  systems.push_back(qmf12(3));
+  systems.push_back(qmf23(4));
+  systems.push_back(qmf12(4));
+  systems.push_back(qmf12(5));
+  systems.push_back(qmf235(5));
+  systems.push_back(satellite_receiver());
+  systems.push_back(modem_16qam());
+  systems.push_back(pam4_xmitrec());
+  systems.push_back(block_vox());
+  systems.push_back(overlap_add_fft());
+  systems.push_back(phased_array());
+  return systems;
+}
+
+/// Environment-variable override for experiment sizes, e.g.
+/// SDFMEM_RANDOM_GRAPHS=20 ./fig27_random for a quick run.
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+}  // namespace sdf::bench

@@ -1,0 +1,36 @@
+// Blocking-factor (vectorization) sweep: scheduling J minimal periods per
+// iteration amortizes loop overhead at the cost of buffer memory. The
+// sweep quantifies the trade on the practical suite — the engineering
+// counterpart to the paper's code-size-first philosophy.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "codegen/code_size.h"
+#include "pipeline/compile.h"
+
+int main() {
+  using namespace sdf;
+  std::printf(
+      "blocking sweep: shared pool tokens (and loop iterations per minimal "
+      "period)\n\n"
+      "%-14s | %12s %12s %12s %12s\n",
+      "system", "J=1", "J=2", "J=4", "J=8");
+  for (const Graph& g : bench::table1_systems()) {
+    std::printf("%-14s |", g.name().c_str());
+    for (const std::int64_t j : {1, 2, 4, 8}) {
+      CompileOptions opts;
+      opts.blocking_factor = j;
+      const CompileResult res = compile(g, opts);
+      // Loop-iteration proxy: schedule steps executed per minimal period.
+      const std::int64_t steps = res.schedule.total_firings() / j;
+      std::printf(" %6lld/%-5lld", static_cast<long long>(res.shared_size),
+                  static_cast<long long>(steps));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshared memory grows roughly linearly in J while the firings per\n"
+      "minimal period stay fixed — blocking pays only when per-iteration\n"
+      "control overhead (not modeled here) dominates.\n");
+  return 0;
+}

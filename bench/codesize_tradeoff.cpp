@@ -1,0 +1,59 @@
+// Total memory = code size + buffer memory (the paper's Sec. 3
+// motivation and the Sec. 11.1.4/11.2 trade-offs in one table): for each
+// system, four implementation styles compared under a uniform code-size
+// model:
+//   flat SAS, nested (sdppo) SAS, n-appearance relaxation (+64 blocks),
+//   and the fully dynamic demand-driven sequence compacted by the optimal
+//   looping DP when it fits.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "codegen/code_size.h"
+#include "pipeline/compile.h"
+#include "sched/demand_driven.h"
+#include "sched/loop_compaction.h"
+#include "sched/nappearance.h"
+#include "sched/sas.h"
+
+int main() {
+  using namespace sdf;
+  std::printf(
+      "code+buffer trade-off (uniform 10-unit blocks, inline model)\n\n"
+      "%-14s | %6s %6s | %6s %6s | %6s %6s | %7s %7s\n",
+      "system", "flatC", "flatB", "nestC", "nestB", "napC", "napB", "dynC",
+      "dynB");
+  for (const Graph& g : bench::table1_systems()) {
+    const Repetitions q = repetitions_vector(g);
+    const CodeSizeModel model = CodeSizeModel::uniform(g, 10);
+
+    CompileOptions flat_opts;
+    flat_opts.optimizer = LoopOptimizer::kFlat;
+    const CompileResult flat = compile(g, flat_opts);
+    const CompileResult nested = compile(g);
+    const NAppearanceResult nap =
+        relax_appearances(g, q, nested.schedule, 64);
+    const DemandDrivenResult dynamic = demand_driven_schedule(g, q);
+
+    std::string dyn_code = "-";
+    if (dynamic.firing_seq.size() <= 1024) {
+      const CompactionResult compacted =
+          compact_firing_sequence(dynamic.firing_seq);
+      dyn_code = std::to_string(inline_code_size(compacted.schedule, model));
+    }
+    std::printf(
+        "%-14s | %6lld %6lld | %6lld %6lld | %6lld %6lld | %7s %7lld\n",
+        g.name().c_str(),
+        static_cast<long long>(inline_code_size(flat.schedule, model)),
+        static_cast<long long>(flat.nonshared_bufmem),
+        static_cast<long long>(inline_code_size(nested.schedule, model)),
+        static_cast<long long>(nested.nonshared_bufmem),
+        static_cast<long long>(inline_code_size(nap.schedule, model)),
+        static_cast<long long>(nap.buffer_memory), dyn_code.c_str(),
+        static_cast<long long>(dynamic.buffer_memory));
+  }
+  std::printf(
+      "\nC = inline code units, B = non-shared buffer tokens; '-' = firing\n"
+      "sequence too long for the optimal looping DP.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 25 (Sec. 10.1): bar graph of the percentage improvement of the best
+// shared implementation over the best non-shared implementation, one bar
+// per practical system. Rendered as an ASCII bar chart.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "pipeline/compile.h"
+
+int main() {
+  using namespace sdf;
+  std::printf("Fig. 25: %% improvement of shared over non-shared\n\n");
+  for (const Graph& g : bench::table1_systems()) {
+    const Table1Row row = table1_row(g);
+    const double pct = row.improvement_percent();
+    const int bars = std::max(0, static_cast<int>(pct / 2.0));
+    std::printf("%-14s %5.1f%% |%s\n", row.system.c_str(), pct,
+                std::string(static_cast<std::size_t>(bars), '#').c_str());
+  }
+  std::printf("\n(each # = 2%%; paper range: ~27%% to 83%%)\n");
+  return 0;
+}

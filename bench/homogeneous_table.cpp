@@ -1,0 +1,45 @@
+// Sec. 10.2 / Fig. 26: homogeneous M x N meshes. Shared allocation reaches
+// M+1 locations for every M and N while any non-shared implementation
+// needs M(N+1); loop scheduling alone cannot help homogeneous graphs.
+#include <algorithm>
+#include <cstdio>
+
+#include "alloc/first_fit.h"
+#include "bench_util.h"
+#include "graphs/homogeneous.h"
+#include "pipeline/compile.h"
+
+int main() {
+  using namespace sdf;
+  std::printf(
+      "Homogeneous mesh study (Fig. 26)\n\n"
+      "%4s %4s %12s %8s %14s %11s %8s\n",
+      "M", "N", "non-shared", "shared", "paper M(N+1)", "paper M+1", "ok");
+  bool all_match = true;
+  for (int m : {2, 3, 4, 6, 8, 12}) {
+    for (int n : {2, 3, 4, 8, 16}) {
+      const Graph g = homogeneous_mesh(m, n);
+      CompileOptions opts;
+      opts.order = OrderHeuristic::kTopological;
+      const CompileResult res = compile(g, opts);
+      const std::int64_t shared = std::min(
+          res.shared_size,
+          first_fit(res.wig, res.lifetimes, FirstFitOrder::kByStartTime)
+              .total_size);
+      const bool match = shared == homogeneous_mesh_shared(m) &&
+                         res.nonshared_bufmem ==
+                             homogeneous_mesh_nonshared(m, n);
+      all_match &= match;
+      std::printf("%4d %4d %12lld %8lld %14lld %11lld %8s\n", m, n,
+                  static_cast<long long>(res.nonshared_bufmem),
+                  static_cast<long long>(shared),
+                  static_cast<long long>(homogeneous_mesh_nonshared(m, n)),
+                  static_cast<long long>(homogeneous_mesh_shared(m)),
+                  match ? "yes" : "NO");
+    }
+  }
+  std::printf("\n%s\n", all_match
+                            ? "all entries match the paper's closed forms"
+                            : "MISMATCH against the paper's closed forms");
+  return all_match ? 0 : 1;
+}

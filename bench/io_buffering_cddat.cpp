@@ -1,0 +1,60 @@
+// Sec. 11.1.3 CD-DAT interface-buffering experiment: the nested
+// buffer-optimal SAS spreads source firings through the period and needs
+// roughly a tenth of the input buffering a flat SAS needs (paper: ~11 vs
+// 65 tokens over a 147-sample period, with 1994-era execution times).
+#include <cstdio>
+
+#include "graphs/cddat.h"
+#include "graphs/satellite.h"
+#include "sched/apgan.h"
+#include "sched/dppo.h"
+#include "sched/io_buffering.h"
+#include "sched/sas.h"
+#include "sdf/analysis.h"
+
+namespace {
+
+void report(const sdf::Graph& g, const sdf::Repetitions& q,
+            const sdf::Schedule& s, const sdf::ExecutionTimes& exec,
+            sdf::ActorId src, const char* label) {
+  const auto r = sdf::interface_buffering(g, q, s, exec, src,
+                                          sdf::kInvalidActor);
+  std::printf("  %-22s input backlog %5lld of %lld samples/period\n", label,
+              static_cast<long long>(r.input_backlog),
+              static_cast<long long>(r.input_samples_per_period));
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdf;
+  {
+    const Graph g = cd_to_dat();
+    const Repetitions q = repetitions_vector(g);
+    const ActorId src = *g.find_actor("A");
+    // Relative execution costs: polyphase stages dominate (cf. the
+    // "typical DSP of 1994" assumption in [19]).
+    const ExecutionTimes exec{2, 6, 8, 10, 10, 2};
+    std::printf("CD-DAT (147-sample period):\n");
+    report(g, q, flat_sas(g, q), exec, src, "flat SAS");
+    report(g, q, dppo(g, q, *topological_sort(g)).schedule, exec, src,
+           "nested (DPPO) SAS");
+    report(g, q, apgan(g, q).schedule, exec, src, "nested (APGAN) SAS");
+    std::printf("  paper reference: flat 65, nested ~11\n\n");
+  }
+  {
+    const Graph g = satellite_receiver();
+    const Repetitions q = repetitions_vector(g);
+    const ActorId src = *g.find_actor("A");
+    ExecutionTimes exec(g.num_actors(), 4);
+    exec[static_cast<std::size_t>(src)] = 1;
+    exec[static_cast<std::size_t>(*g.find_actor("D"))] = 1;
+    std::printf("Satellite receiver (q(A) = 1056 source firings):\n");
+    report(g, q, flat_sas(g, q), exec, src, "flat SAS");
+    report(g, q, apgan(g, q).schedule, exec, src, "nested (APGAN) SAS");
+    std::printf(
+        "  paper: Goddard/Jeffay charge the static SAS 1056 input samples;\n"
+        "  the nested schedule's true requirement is far smaller.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Engineering micro-benchmarks for the lifetime-analysis and allocation
+// stages (Secs. 8-9): extraction, intersection-graph construction (tree-
+// aware vs generic), first-fit, and the MCW estimators.
+#include <benchmark/benchmark.h>
+
+#include "alloc/clique.h"
+#include "alloc/first_fit.h"
+#include "alloc/intersection_graph.h"
+#include "graphs/filterbank.h"
+#include "graphs/satellite.h"
+#include "lifetime/lifetime_extract.h"
+#include "pipeline/compile.h"
+#include "sched/sdppo.h"
+#include "sched/rpmc.h"
+
+namespace {
+
+using namespace sdf;
+
+struct Prepared {
+  Graph g;
+  Repetitions q;
+  Schedule schedule;
+};
+
+Prepared prepare(Graph graph) {
+  Repetitions q = repetitions_vector(graph);
+  Schedule s = sdppo(graph, q, rpmc(graph, q).lexorder).schedule;
+  return Prepared{std::move(graph), std::move(q), std::move(s)};
+}
+
+Graph graph_for(int index) {
+  switch (index) {
+    case 0: return satellite_receiver();
+    case 1: return qmf12(3);
+    case 2: return qmf12(4);
+    default: return qmf12(5);
+  }
+}
+
+void BM_ExtractLifetimes(benchmark::State& state) {
+  const Prepared p = prepare(graph_for(static_cast<int>(state.range(0))));
+  const ScheduleTree tree(p.g, p.schedule);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_lifetimes(p.g, p.q, tree));
+  }
+  state.SetLabel(p.g.name());
+}
+BENCHMARK(BM_ExtractLifetimes)->DenseRange(0, 3);
+
+void BM_IntersectionGraphTreeAware(benchmark::State& state) {
+  const Prepared p = prepare(graph_for(static_cast<int>(state.range(0))));
+  const ScheduleTree tree(p.g, p.schedule);
+  const auto lifetimes = extract_lifetimes(p.g, p.q, tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_intersection_graph(tree, lifetimes));
+  }
+  state.SetLabel(p.g.name());
+}
+BENCHMARK(BM_IntersectionGraphTreeAware)->DenseRange(0, 3);
+
+void BM_IntersectionGraphGeneric(benchmark::State& state) {
+  const Prepared p = prepare(graph_for(static_cast<int>(state.range(0))));
+  const ScheduleTree tree(p.g, p.schedule);
+  const auto lifetimes = extract_lifetimes(p.g, p.q, tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_intersection_graph_generic(lifetimes));
+  }
+  state.SetLabel(p.g.name());
+}
+BENCHMARK(BM_IntersectionGraphGeneric)->DenseRange(0, 3);
+
+void BM_FirstFit(benchmark::State& state) {
+  const Prepared p = prepare(graph_for(static_cast<int>(state.range(0))));
+  const ScheduleTree tree(p.g, p.schedule);
+  const auto lifetimes = extract_lifetimes(p.g, p.q, tree);
+  const auto wig = build_intersection_graph(tree, lifetimes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        first_fit(wig, lifetimes, FirstFitOrder::kByDuration));
+  }
+  state.SetLabel(p.g.name());
+}
+BENCHMARK(BM_FirstFit)->DenseRange(0, 3);
+
+void BM_McwEstimates(benchmark::State& state) {
+  const Prepared p = prepare(graph_for(static_cast<int>(state.range(0))));
+  const ScheduleTree tree(p.g, p.schedule);
+  const auto lifetimes = extract_lifetimes(p.g, p.q, tree);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcw_optimistic(lifetimes));
+    benchmark::DoNotOptimize(mcw_pessimistic(lifetimes));
+  }
+  state.SetLabel(p.g.name());
+}
+BENCHMARK(BM_McwEstimates)->DenseRange(0, 3);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const Graph g = graph_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile(g));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

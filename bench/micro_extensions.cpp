@@ -1,0 +1,130 @@
+// Micro-benchmarks for the extension modules: demand-driven scheduling,
+// loop compaction, buffer merging, pool checking, functional simulation,
+// HSDF expansion and the timing analyses.
+#include <benchmark/benchmark.h>
+
+#include "alloc/pool_checker.h"
+#include "graphs/cddat.h"
+#include "graphs/filterbank.h"
+#include "graphs/fir.h"
+#include "graphs/satellite.h"
+#include "lifetime/schedule_tree.h"
+#include "merge/buffer_merge.h"
+#include "pipeline/compile.h"
+#include "sched/demand_driven.h"
+#include "sched/loop_compaction.h"
+#include "sched/sas.h"
+#include "sdf/throughput.h"
+#include "sdf/transform.h"
+#include "sim/functional.h"
+
+namespace {
+
+using namespace sdf;
+
+Graph graph_for(int index) {
+  switch (index) {
+    case 0: return cd_to_dat();
+    case 1: return satellite_receiver();
+    case 2: return qmf12(3);
+    default: return qmf12(4);
+  }
+}
+
+void BM_DemandDriven(benchmark::State& state) {
+  const Graph g = graph_for(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demand_driven_schedule(g, q));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_DemandDriven)->DenseRange(0, 3);
+
+void BM_LoopCompaction(benchmark::State& state) {
+  const Graph g = cd_to_dat();
+  const Repetitions q = repetitions_vector(g);
+  const DemandDrivenResult dynamic = demand_driven_schedule(g, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compact_firing_sequence(dynamic.firing_seq));
+  }
+  state.SetLabel(std::to_string(dynamic.firing_seq.size()) + " firings");
+}
+BENCHMARK(BM_LoopCompaction);
+
+void BM_BufferMerging(benchmark::State& state) {
+  const Graph g = graph_for(static_cast<int>(state.range(0)));
+  const CompileResult res = compile(g);
+  const ScheduleTree tree(g, res.schedule);
+  const CbpTable cbp = cbp_all_consuming(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merge_buffers(g, tree, res.lifetimes, cbp));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_BufferMerging)->DenseRange(0, 3);
+
+void BM_PoolChecker(benchmark::State& state) {
+  const Graph g = graph_for(static_cast<int>(state.range(0)));
+  const CompileResult res = compile(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_allocation_by_execution(
+        g, res.schedule, res.lifetimes, res.allocation));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_PoolChecker)->DenseRange(0, 3);
+
+void BM_FunctionalPooledRun(benchmark::State& state) {
+  const Graph g = graph_for(static_cast<int>(state.range(0)));
+  const CompileResult res = compile(g);
+  const KernelTable kernels = default_kernels(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pooled_and_compare(
+        g, res.schedule, kernels, res.lifetimes, res.allocation));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_FunctionalPooledRun)->DenseRange(0, 3);
+
+void BM_HsdfExpansion(benchmark::State& state) {
+  const Graph g = qmf12(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expand_to_homogeneous(g, q, 1u << 20));
+  }
+  state.SetLabel(std::to_string(g.num_actors()) + " actors");
+}
+BENCHMARK(BM_HsdfExpansion)->DenseRange(2, 5);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const Graph g = qmf12(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  const std::vector<std::int64_t> exec(g.num_actors(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        critical_path_latency(g, q, exec, 1u << 20));
+  }
+  state.SetLabel(std::to_string(g.num_actors()) + " actors");
+}
+BENCHMARK(BM_CriticalPath)->DenseRange(2, 5);
+
+void BM_FirCompaction(benchmark::State& state) {
+  const FirGraph fir = fir_fine_grained(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(fir.graph);
+  const Schedule threaded = flat_sas(fir.graph, q);
+  std::vector<ActorId> typed;
+  for (ActorId a : threaded.flatten()) {
+    typed.push_back(
+        static_cast<ActorId>(fir.type_of[static_cast<std::size_t>(a)]));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compact_firing_sequence(typed));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " taps");
+}
+BENCHMARK(BM_FirCompaction)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

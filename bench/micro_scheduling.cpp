@@ -1,0 +1,93 @@
+// Engineering micro-benchmarks: scheduling-stage throughput as graph size
+// grows (not a paper experiment; documents the polynomial running times
+// claimed in Secs. 6-9).
+#include <benchmark/benchmark.h>
+
+#include "graphs/filterbank.h"
+#include "sched/apgan.h"
+#include "sched/chain_dp.h"
+#include "sched/dppo.h"
+#include "sched/rpmc.h"
+#include "sched/sdppo.h"
+#include "sdf/analysis.h"
+#include "sdf/repetitions.h"
+
+namespace {
+
+using namespace sdf;
+
+void BM_Repetitions(benchmark::State& state) {
+  const Graph g = qmf12(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repetitions_vector(g));
+  }
+  state.SetLabel(std::to_string(g.num_actors()) + " actors");
+}
+BENCHMARK(BM_Repetitions)->DenseRange(2, 6);
+
+void BM_Apgan(benchmark::State& state) {
+  const Graph g = qmf12(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apgan(g, q));
+  }
+  state.SetLabel(std::to_string(g.num_actors()) + " actors");
+}
+BENCHMARK(BM_Apgan)->DenseRange(2, 6);
+
+void BM_Rpmc(benchmark::State& state) {
+  const Graph g = qmf12(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpmc(g, q));
+  }
+  state.SetLabel(std::to_string(g.num_actors()) + " actors");
+}
+BENCHMARK(BM_Rpmc)->DenseRange(2, 6);
+
+void BM_Dppo(benchmark::State& state) {
+  const Graph g = qmf12(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  const auto order = *topological_sort(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dppo(g, q, order));
+  }
+  state.SetLabel(std::to_string(g.num_actors()) + " actors");
+}
+BENCHMARK(BM_Dppo)->DenseRange(2, 6);
+
+void BM_Sdppo(benchmark::State& state) {
+  const Graph g = qmf12(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  const auto order = *topological_sort(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdppo(g, q, order));
+  }
+  state.SetLabel(std::to_string(g.num_actors()) + " actors");
+}
+BENCHMARK(BM_Sdppo)->DenseRange(2, 6);
+
+Graph long_chain(int n) {
+  Graph g("chain" + std::to_string(n));
+  ActorId prev = g.add_actor("x0");
+  for (int i = 1; i < n; ++i) {
+    const ActorId cur = g.add_actor("x" + std::to_string(i));
+    g.add_edge(prev, cur, 1 + i % 3, 1 + (i * 2) % 4);
+    prev = cur;
+  }
+  return g;
+}
+
+void BM_ChainDpExact(benchmark::State& state) {
+  const Graph g = long_chain(static_cast<int>(state.range(0)));
+  const Repetitions q = repetitions_vector(g);
+  const auto order = *chain_order(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain_sdppo_exact(g, q, order));
+  }
+}
+BENCHMARK(BM_ChainDpExact)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

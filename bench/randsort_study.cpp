@@ -1,0 +1,90 @@
+// Sec. 10.1 random-topological-sort study: how many random lexical orders
+// does it take to beat RPMC/APGAN, and by how much? The paper ran 50-1000
+// trials on satrec/blockVox (small) and qmf12_5d/qmf235_5d (~200 nodes).
+// Override the trial count with SDFMEM_RANDSORT_TRIALS (default 200).
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <random>
+
+#include "alloc/first_fit.h"
+#include "bench_util.h"
+#include "graphs/ptolemy.h"
+#include "graphs/satellite.h"
+#include "pipeline/compile.h"
+#include "sdf/analysis.h"
+
+namespace {
+
+std::int64_t shared_size_for_order(const sdf::Graph& g,
+                                   const std::vector<sdf::ActorId>& order) {
+  using namespace sdf;
+  CompileOptions opts;
+  opts.optimizer = LoopOptimizer::kSdppo;
+  const CompileResult res = compile_with_order(g, order, opts);
+  return std::min(res.shared_size,
+                  first_fit(res.wig, res.lifetimes,
+                            FirstFitOrder::kByStartTime)
+                      .total_size);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdf;
+  const int trials = bench::env_int("SDFMEM_RANDSORT_TRIALS", 200);
+  std::printf(
+      "Random-lexical-order study (Sec. 10.1), %d trials per system\n\n"
+      "%-12s %8s %10s %10s %12s %14s\n",
+      trials, "system", "actors", "heuristic", "bestRand", "trialsToBeat",
+      "randBeatsBy%");
+
+  std::mt19937 rng(424242);
+  std::vector<Graph> systems;
+  systems.push_back(satellite_receiver());
+  systems.push_back(block_vox());
+  systems.push_back(qmf12(5));
+  systems.push_back(qmf235(5));
+  for (const Graph& g : systems) {
+    const Repetitions q = repetitions_vector(g);
+
+    CompileOptions opts;
+    std::int64_t heuristic = std::numeric_limits<std::int64_t>::max();
+    for (const OrderHeuristic order :
+         {OrderHeuristic::kRpmc, OrderHeuristic::kRpmcMultistart,
+          OrderHeuristic::kApgan}) {
+      opts.order = order;
+      const CompileResult res = compile(g, opts);
+      const std::int64_t shared = std::min(
+          res.shared_size,
+          first_fit(res.wig, res.lifetimes, FirstFitOrder::kByStartTime)
+              .total_size);
+      heuristic = std::min(heuristic, shared);
+    }
+
+    std::int64_t best_random = std::numeric_limits<std::int64_t>::max();
+    int first_beat = -1;
+    for (int t = 0; t < trials; ++t) {
+      const auto order = random_topological_sort(g, rng);
+      const std::int64_t shared = shared_size_for_order(g, order);
+      if (shared < best_random) best_random = shared;
+      if (first_beat < 0 && shared < heuristic) first_beat = t + 1;
+    }
+    const double beats_by =
+        best_random < heuristic
+            ? 100.0 * (heuristic - best_random) / heuristic
+            : 0.0;
+    const std::string beat_text =
+        first_beat < 0 ? "never" : std::to_string(first_beat);
+    std::printf("%-12s %8zu %10lld %10lld %12s %13.1f%%\n", g.name().c_str(),
+                g.num_actors(), static_cast<long long>(heuristic),
+                static_cast<long long>(best_random), beat_text.c_str(),
+                beats_by);
+  }
+  std::printf(
+      "\npaper reference: ~50 trials to beat the heuristics on ~25-node "
+      "systems,\nbut the best of 1000 random orders improved satrec by ~1%% "
+      "only; on ~200-node\nbanks random search stayed well behind "
+      "(79 vs 58, 8011 vs 5690 after 100 trials).\n");
+  return 0;
+}

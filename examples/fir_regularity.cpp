@@ -1,0 +1,63 @@
+// Regularity extraction on a fine-grained FIR (Sec. 12, Figs. 28-29).
+//
+// The Chain higher-order constructor expands a MAC unit into a
+// `taps`-deep gain/add lattice; naive threading emits one code block per
+// instance. Relabeling instances by type and running optimal loop
+// compaction recovers the loop a programmer would write by hand:
+// roughly  x fork G (taps-1)(G A) y.
+#include <cstdio>
+
+#include "codegen/code_size.h"
+#include "graphs/fir.h"
+#include "sched/loop_compaction.h"
+#include "sched/sas.h"
+#include "sdf/repetitions.h"
+
+int main() {
+  using namespace sdf;
+  std::printf("%6s %12s %14s %12s %14s\n", "taps", "instances",
+              "inline size", "compacted", "subroutine");
+  for (int taps : {4, 8, 16, 32, 64}) {
+    const FirGraph fir = fir_fine_grained(taps);
+    const Repetitions q = repetitions_vector(fir.graph);
+    const Schedule threaded = flat_sas(fir.graph, q);
+
+    CodeSizeModel model = CodeSizeModel::uniform(fir.graph, 20);
+    model.type_of = fir.type_of;
+
+    // Relabel the firing sequence by actor type and compact.
+    std::vector<ActorId> typed;
+    for (ActorId a : threaded.flatten()) {
+      typed.push_back(static_cast<ActorId>(
+          fir.type_of[static_cast<std::size_t>(a)]));
+    }
+    const CompactionResult compacted = compact_firing_sequence(typed);
+
+    // Compacted inline size: one shared block per appearance of a TYPE.
+    CodeSizeModel type_model;
+    type_model.actor_size.assign(4, 20);  // four types
+    const std::int64_t compact_size =
+        inline_code_size(compacted.schedule, type_model);
+
+    std::printf("%6d %12lld %14lld %12lld %14lld\n", taps,
+                static_cast<long long>(threaded.num_leaves()),
+                static_cast<long long>(inline_code_size(threaded, model)),
+                static_cast<long long>(compact_size),
+                static_cast<long long>(subroutine_code_size(threaded,
+                                                            model)));
+    if (taps == 8) {
+      std::printf("  8-tap compacted schedule over types "
+                  "(0=src/fork 1=gain 2=add 3=sink):\n    ");
+      Graph labels("types");
+      labels.add_actor("IO");
+      labels.add_actor("G");
+      labels.add_actor("A");
+      labels.add_actor("Y");
+      std::printf("%s\n", compacted.schedule.to_string(labels).c_str());
+    }
+  }
+  std::printf(
+      "\ninline code grows linearly with taps; the type-compacted loop and\n"
+      "the subroutine model stay flat — the paper's regularity argument.\n");
+  return 0;
+}

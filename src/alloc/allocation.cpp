@@ -1,0 +1,25 @@
+#include "alloc/allocation.h"
+
+namespace sdf {
+
+bool allocation_is_valid(const IntersectionGraph& wig,
+                         const Allocation& alloc) {
+  const std::size_t n = wig.size();
+  if (alloc.offsets.size() != n) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alloc.offsets[i] < 0) return false;
+    if (alloc.offsets[i] + wig.weights[i] > alloc.total_size) return false;
+    for (std::int32_t j : wig.adjacency[i]) {
+      if (static_cast<std::size_t>(j) <= i) continue;  // check each pair once
+      const std::int64_t ai = alloc.offsets[i];
+      const std::int64_t aj = alloc.offsets[static_cast<std::size_t>(j)];
+      const std::int64_t wi = wig.weights[i];
+      const std::int64_t wj = wig.weights[static_cast<std::size_t>(j)];
+      const bool disjoint = (ai + wi <= aj) || (aj + wj <= ai);
+      if (!disjoint) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sdf

@@ -1,0 +1,23 @@
+// Allocation result type and validity checking (Definition 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/intersection_graph.h"
+
+namespace sdf {
+
+/// Memory placement of every buffer: offsets[i] is the first word assigned
+/// to buffer i (indices parallel the lifetime vector used to build the WIG).
+struct Allocation {
+  std::vector<std::int64_t> offsets;
+  std::int64_t total_size = 0;  ///< max over i of offsets[i] + width[i]
+};
+
+/// Checks Definition 5: time-overlapping buffers get disjoint address
+/// ranges and all offsets are non-negative.
+[[nodiscard]] bool allocation_is_valid(const IntersectionGraph& wig,
+                                       const Allocation& alloc);
+
+}  // namespace sdf

@@ -1,0 +1,74 @@
+#include "alloc/clique.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdf {
+
+std::int64_t mcw_optimistic(const std::vector<BufferLifetime>& lifetimes) {
+  std::int64_t best = 0;
+  for (const BufferLifetime& b : lifetimes) {
+    const std::int64_t t = b.interval.first_start();
+    std::int64_t live = 0;
+    for (const BufferLifetime& other : lifetimes) {
+      if (other.interval.live_at(t)) live += other.width;
+    }
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+std::int64_t mcw_pessimistic(const std::vector<BufferLifetime>& lifetimes) {
+  // Exact sweep over the solidified intervals: the max overlap of a set of
+  // solid intervals occurs at some interval's start.
+  struct Event {
+    std::int64_t time;
+    std::int64_t delta;
+  };
+  std::vector<Event> events;
+  events.reserve(lifetimes.size() * 2);
+  for (const BufferLifetime& b : lifetimes) {
+    events.push_back({b.interval.first_start(), b.width});
+    events.push_back({b.interval.last_stop(), -b.width});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;  // process removals before additions
+  });
+  std::int64_t live = 0, best = 0;
+  for (const Event& e : events) {
+    live += e.delta;
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+std::int64_t mcw_exact(const std::vector<BufferLifetime>& lifetimes,
+                       std::size_t burst_limit) {
+  // The max overlap occurs at the start of some burst (Sec. 9.1, Fig. 20:
+  // possibly a later occurrence, not only the earliest).
+  std::size_t total_bursts = 0;
+  for (const BufferLifetime& b : lifetimes) {
+    total_bursts += static_cast<std::size_t>(b.interval.occurrences());
+    if (total_bursts > burst_limit) {
+      throw std::length_error("mcw_exact: too many periodic occurrences");
+    }
+  }
+  std::int64_t best = 0;
+  for (const BufferLifetime& b : lifetimes) {
+    std::int64_t t = b.interval.first_start();
+    while (true) {
+      std::int64_t live = 0;
+      for (const BufferLifetime& other : lifetimes) {
+        if (other.interval.live_at(t)) live += other.width;
+      }
+      best = std::max(best, live);
+      const auto next = b.interval.next_start_at_or_after(t + 1);
+      if (!next) break;
+      t = *next;
+    }
+  }
+  return best;
+}
+
+}  // namespace sdf

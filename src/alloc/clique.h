@@ -1,0 +1,37 @@
+// Maximum-clique-weight estimates for lifetime instances (Sec. 9.1).
+//
+// The MCW of the intersection graph (= max total width simultaneously
+// live) lower-bounds the chromatic number and hence any allocation. With
+// periodic lifetimes computing it exactly can require examining every
+// occurrence, so the paper uses two polynomial heuristics:
+//   optimistic  — examine only each buffer's earliest start time,
+//   pessimistic — ignore periodicity (treat [first_start, last_stop) as
+//                 solid) and sweep exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lifetime/lifetime_extract.h"
+#include "lifetime/schedule_tree.h"
+
+namespace sdf {
+
+/// Optimistic estimate: max over buffers b of the total width live at b's
+/// earliest start time. Never exceeds the true MCW.
+[[nodiscard]] std::int64_t mcw_optimistic(
+    const std::vector<BufferLifetime>& lifetimes);
+
+/// Pessimistic estimate: exact MCW of the solidified instance (periodicity
+/// ignored). Never below the true MCW.
+[[nodiscard]] std::int64_t mcw_pessimistic(
+    const std::vector<BufferLifetime>& lifetimes);
+
+/// Exact MCW by sweeping every occurrence start of every buffer. Cost is
+/// proportional to the total number of bursts; intended for tests and small
+/// instances (throws std::length_error above `burst_limit`).
+[[nodiscard]] std::int64_t mcw_exact(
+    const std::vector<BufferLifetime>& lifetimes,
+    std::size_t burst_limit = 1u << 20);
+
+}  // namespace sdf

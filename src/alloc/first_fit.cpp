@@ -1,0 +1,77 @@
+#include "alloc/first_fit.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sdf {
+
+std::vector<std::int32_t> enumeration_order(
+    const std::vector<BufferLifetime>& lifetimes, FirstFitOrder order) {
+  std::vector<std::int32_t> idx(lifetimes.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  auto by = [&](auto key) {
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return key(lifetimes[static_cast<std::size_t>(a)]) <
+                              key(lifetimes[static_cast<std::size_t>(b)]);
+                     });
+  };
+  switch (order) {
+    case FirstFitOrder::kByDuration:
+      // Decreasing duration; larger widths first on ties.
+      by([](const BufferLifetime& b) {
+        return std::pair(-b.interval.burst_duration(), -b.width);
+      });
+      break;
+    case FirstFitOrder::kByStartTime:
+      by([](const BufferLifetime& b) {
+        return std::pair(b.interval.first_start(), -b.width);
+      });
+      break;
+    case FirstFitOrder::kByWidth:
+      by([](const BufferLifetime& b) {
+        return std::pair(-b.width, -b.interval.burst_duration());
+      });
+      break;
+    case FirstFitOrder::kInputOrder:
+      break;
+  }
+  return idx;
+}
+
+Allocation first_fit_enumerated(const IntersectionGraph& wig,
+                                const std::vector<std::int32_t>& order) {
+  Allocation alloc;
+  alloc.offsets.assign(wig.size(), 0);
+  std::vector<bool> placed(wig.size(), false);
+
+  for (std::int32_t i : order) {
+    const auto ii = static_cast<std::size_t>(i);
+    // Collect already-placed conflicting ranges, sorted by offset.
+    std::vector<std::pair<std::int64_t, std::int64_t>> busy;  // (off, width)
+    for (std::int32_t j : wig.adjacency[ii]) {
+      const auto jj = static_cast<std::size_t>(j);
+      if (placed[jj]) busy.emplace_back(alloc.offsets[jj], wig.weights[jj]);
+    }
+    std::sort(busy.begin(), busy.end());
+    // Lowest gap that fits this buffer's width.
+    std::int64_t candidate = 0;
+    for (const auto& [off, width] : busy) {
+      if (candidate + wig.weights[ii] <= off) break;  // fits before this one
+      candidate = std::max(candidate, off + width);
+    }
+    alloc.offsets[ii] = candidate;
+    placed[ii] = true;
+    alloc.total_size =
+        std::max(alloc.total_size, candidate + wig.weights[ii]);
+  }
+  return alloc;
+}
+
+Allocation first_fit(const IntersectionGraph& wig,
+                     const std::vector<BufferLifetime>& lifetimes,
+                     FirstFitOrder order) {
+  return first_fit_enumerated(wig, enumeration_order(lifetimes, order));
+}
+
+}  // namespace sdf

@@ -1,0 +1,40 @@
+// First-fit dynamic storage allocation (Sec. 9.1, Fig. 19).
+//
+// Buffers are placed one at a time, each at the lowest address where it
+// fits below/above every already-placed time-overlapping neighbor. The
+// enumeration order is the only knob; the paper evaluates ordering by
+// decreasing duration (ffdur) and by increasing start time (ffstart),
+// following the empirical study of [20].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "alloc/intersection_graph.h"
+#include "lifetime/lifetime_extract.h"
+
+namespace sdf {
+
+enum class FirstFitOrder {
+  kByDuration,    ///< decreasing burst duration (ffdur)
+  kByStartTime,   ///< increasing first start time (ffstart)
+  kByWidth,       ///< decreasing width (engineering extension)
+  kInputOrder,    ///< the order buffers were handed in
+};
+
+/// Runs first-fit over the given enumeration order.
+[[nodiscard]] Allocation first_fit(const IntersectionGraph& wig,
+                                   const std::vector<BufferLifetime>& lifetimes,
+                                   FirstFitOrder order);
+
+/// Returns the explicit enumeration produced by `order` (exposed for tests
+/// and for the paper's order-sensitivity experiments).
+[[nodiscard]] std::vector<std::int32_t> enumeration_order(
+    const std::vector<BufferLifetime>& lifetimes, FirstFitOrder order);
+
+/// First-fit over a caller-provided enumeration.
+[[nodiscard]] Allocation first_fit_enumerated(
+    const IntersectionGraph& wig, const std::vector<std::int32_t>& order);
+
+}  // namespace sdf

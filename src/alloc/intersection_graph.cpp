@@ -1,0 +1,51 @@
+#include "alloc/intersection_graph.h"
+
+#include <algorithm>
+
+namespace sdf {
+namespace {
+
+template <typename OverlapFn>
+IntersectionGraph build(const std::vector<BufferLifetime>& lifetimes,
+                        OverlapFn&& overlap) {
+  IntersectionGraph wig;
+  const std::size_t n = lifetimes.size();
+  wig.adjacency.assign(n, {});
+  wig.weights.reserve(n);
+  for (const BufferLifetime& b : lifetimes) wig.weights.push_back(b.width);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (overlap(lifetimes[i], lifetimes[j])) {
+        wig.adjacency[i].push_back(static_cast<std::int32_t>(j));
+        wig.adjacency[j].push_back(static_cast<std::int32_t>(i));
+      }
+    }
+  }
+  for (auto& row : wig.adjacency) std::sort(row.begin(), row.end());
+  return wig;
+}
+
+}  // namespace
+
+bool IntersectionGraph::adjacent(std::int32_t a, std::int32_t b) const {
+  const auto& row = adjacency[static_cast<std::size_t>(a)];
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
+IntersectionGraph build_intersection_graph(
+    const ScheduleTree& tree, const std::vector<BufferLifetime>& lifetimes) {
+  return build(lifetimes, [&](const BufferLifetime& a,
+                              const BufferLifetime& b) {
+    return lifetimes_overlap(tree, a, b);
+  });
+}
+
+IntersectionGraph build_intersection_graph_generic(
+    const std::vector<BufferLifetime>& lifetimes) {
+  return build(lifetimes, [](const BufferLifetime& a,
+                             const BufferLifetime& b) {
+    return a.interval.overlaps(b.interval);
+  });
+}
+
+}  // namespace sdf

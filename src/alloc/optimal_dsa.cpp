@@ -1,0 +1,145 @@
+#include "alloc/optimal_dsa.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "alloc/first_fit.h"
+
+namespace sdf {
+
+Allocation best_fit(const IntersectionGraph& wig,
+                    const std::vector<BufferLifetime>& lifetimes,
+                    FirstFitOrder order) {
+  const std::vector<std::int32_t> enumeration =
+      enumeration_order(lifetimes, order);
+  Allocation alloc;
+  alloc.offsets.assign(wig.size(), 0);
+  std::vector<bool> placed(wig.size(), false);
+
+  for (std::int32_t i : enumeration) {
+    const auto ii = static_cast<std::size_t>(i);
+    std::vector<std::pair<std::int64_t, std::int64_t>> busy;
+    for (std::int32_t j : wig.adjacency[ii]) {
+      const auto jj = static_cast<std::size_t>(j);
+      if (placed[jj]) busy.emplace_back(alloc.offsets[jj], wig.weights[jj]);
+    }
+    std::sort(busy.begin(), busy.end());
+    // Enumerate maximal gaps; keep the tightest one that fits. The final
+    // open-ended gap (above all neighbors) is the fallback.
+    const std::int64_t w = wig.weights[ii];
+    std::int64_t cursor = 0;
+    std::int64_t best_offset = -1;
+    std::int64_t best_slack = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [off, width] : busy) {
+      if (off > cursor) {
+        const std::int64_t gap = off - cursor;
+        if (gap >= w && gap - w < best_slack) {
+          best_slack = gap - w;
+          best_offset = cursor;
+        }
+      }
+      cursor = std::max(cursor, off + width);
+    }
+    if (best_offset < 0) best_offset = cursor;  // open-ended top gap
+    alloc.offsets[ii] = best_offset;
+    placed[ii] = true;
+    alloc.total_size = std::max(alloc.total_size, best_offset + w);
+  }
+  return alloc;
+}
+
+namespace {
+
+// Exactness argument: any allocation can be normalized so that, listing
+// buffers by increasing offset, each buffer sits at offset 0 or exactly on
+// top of an earlier-listed conflicting buffer (slide every buffer down
+// until it is supported; heights never grow). The search therefore
+// branches on "which buffer is placed next" with candidate offsets
+// restricted to supported positions that are >= the last placed offset —
+// every canonical allocation is reachable, so the minimum found over the
+// whole tree is the true optimum.
+struct Search {
+  const IntersectionGraph& wig;
+  std::vector<std::int64_t> offsets;
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best_offsets;
+  std::int64_t nodes = 0;
+  std::int64_t budget;
+  bool exhausted_budget = false;
+
+  explicit Search(const IntersectionGraph& g, std::int64_t node_budget)
+      : wig(g), budget(node_budget) {
+    offsets.assign(g.size(), -1);
+  }
+
+  void run(std::size_t placed_count, std::int64_t height,
+           std::int64_t min_offset) {
+    if (++nodes > budget) {
+      exhausted_budget = true;
+      return;
+    }
+    if (height >= best) return;
+    if (placed_count == wig.size()) {
+      best = height;
+      best_offsets = offsets;
+      return;
+    }
+    for (std::size_t i = 0; i < wig.size(); ++i) {
+      if (offsets[i] >= 0) continue;
+      const std::int64_t w = wig.weights[i];
+
+      // Supported candidates at or above the frontier.
+      std::vector<std::int64_t> candidates;
+      if (min_offset == 0) candidates.push_back(0);
+      for (std::int32_t j : wig.adjacency[i]) {
+        const auto jj = static_cast<std::size_t>(j);
+        if (offsets[jj] >= 0) {
+          const std::int64_t top = offsets[jj] + wig.weights[jj];
+          if (top >= min_offset) candidates.push_back(top);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+
+      for (const std::int64_t offset : candidates) {
+        bool feasible = true;
+        for (std::int32_t j : wig.adjacency[i]) {
+          const auto jj = static_cast<std::size_t>(j);
+          if (offsets[jj] < 0) continue;
+          const bool disjoint = offset + w <= offsets[jj] ||
+                                offsets[jj] + wig.weights[jj] <= offset;
+          if (!disjoint) {
+            feasible = false;
+            break;
+          }
+        }
+        if (!feasible) continue;
+        offsets[i] = offset;
+        run(placed_count + 1, std::max(height, offset + w), offset);
+        offsets[i] = -1;
+        if (exhausted_budget) return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Allocation> optimal_allocation(const IntersectionGraph& wig,
+                                             std::size_t max_buffers,
+                                             std::int64_t node_budget) {
+  if (wig.size() > max_buffers) return std::nullopt;
+  if (wig.size() == 0) return Allocation{};
+  Search search(wig, node_budget);
+  search.run(0, 0, 0);
+  if (search.exhausted_budget || search.best_offsets.empty()) {
+    return std::nullopt;
+  }
+  Allocation alloc;
+  alloc.offsets = search.best_offsets;
+  alloc.total_size = search.best;
+  return alloc;
+}
+
+}  // namespace sdf

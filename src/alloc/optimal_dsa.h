@@ -1,0 +1,34 @@
+// Exact dynamic storage allocation by branch and bound, and a best-fit
+// placement variant of the Fig. 19 allocator.
+//
+// DSA is NP-complete (Theorem 1, [9]); the exact solver is exponential and
+// guarded to small instances. It exists to quantify how far first-fit is
+// from optimal (the paper argues, via [20], that first-fit is within a few
+// percent of the MCW in practice — here that claim is checkable directly).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "alloc/allocation.h"
+#include "alloc/first_fit.h"
+#include "alloc/intersection_graph.h"
+#include "lifetime/lifetime_extract.h"
+
+namespace sdf {
+
+/// Best-fit: like first-fit but picks the feasible gap with the least
+/// leftover space (ties: lowest address).
+[[nodiscard]] Allocation best_fit(const IntersectionGraph& wig,
+                                  const std::vector<BufferLifetime>& lifetimes,
+                                  FirstFitOrder order);
+
+/// Exact minimum-height allocation via branch and bound over the canonical
+/// offset candidates (0 or the top of a conflicting, already-placed
+/// buffer). Returns nullopt when the instance exceeds `max_buffers` or the
+/// search exceeds `node_budget` explored nodes.
+[[nodiscard]] std::optional<Allocation> optimal_allocation(
+    const IntersectionGraph& wig, std::size_t max_buffers = 18,
+    std::int64_t node_budget = 2'000'000);
+
+}  // namespace sdf

@@ -1,0 +1,127 @@
+#include "alloc/pool_checker.h"
+
+#include <sstream>
+
+namespace sdf {
+
+PoolCheckResult check_allocation_by_execution(
+    const Graph& g, const Schedule& schedule,
+    const std::vector<BufferLifetime>& lifetimes, const Allocation& alloc) {
+  PoolCheckResult result;
+  if (lifetimes.size() != g.num_edges() ||
+      alloc.offsets.size() != lifetimes.size()) {
+    result.error = "lifetimes/allocation do not match the graph";
+    return result;
+  }
+
+  // Slot ownership: -1 free, otherwise the owning EdgeId.
+  std::vector<std::int64_t> owner(
+      static_cast<std::size_t>(alloc.total_size), -1);
+  // Widths indexed by edge; offsets likewise.
+  std::vector<std::int64_t> width(g.num_edges());
+  std::vector<std::int64_t> offset(g.num_edges());
+  for (const BufferLifetime& b : lifetimes) {
+    width[static_cast<std::size_t>(b.edge)] = b.width;
+    offset[static_cast<std::size_t>(b.edge)] =
+        alloc.offsets[static_cast<std::size_t>(b.edge)];
+  }
+  std::vector<std::int64_t> write_count(g.num_edges(), 0);
+  std::vector<std::int64_t> read_count(g.num_edges(), 0);
+
+  auto slot_of = [&](EdgeId e, std::int64_t k) {
+    const auto ie = static_cast<std::size_t>(e);
+    return static_cast<std::size_t>(offset[ie] + (k % width[ie]));
+  };
+
+  std::ostringstream err;
+  // Place initial tokens.
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    if (edge.delay > width[e]) {
+      err << "edge " << e << " delay " << edge.delay
+          << " exceeds buffer width " << width[e];
+      result.error = err.str();
+      return result;
+    }
+    for (std::int64_t k = 0; k < edge.delay; ++k) {
+      owner[slot_of(static_cast<EdgeId>(e), k)] =
+          static_cast<std::int64_t>(e);
+    }
+    write_count[e] = edge.delay;
+  }
+
+  bool failed = false;
+  auto write_token = [&](EdgeId e) {
+    const std::size_t slot = slot_of(e, write_count[
+        static_cast<std::size_t>(e)]);
+    if (owner[slot] != -1) {
+      const Edge& mine = g.edge(e);
+      err << "write of " << g.actor(mine.src).name << "->"
+          << g.actor(mine.snk).name << " token "
+          << write_count[static_cast<std::size_t>(e)] << " at address "
+          << slot << " would overwrite a live token of edge "
+          << owner[slot];
+      failed = true;
+      return;
+    }
+    owner[slot] = e;
+    ++write_count[static_cast<std::size_t>(e)];
+  };
+  auto read_token = [&](EdgeId e) {
+    const std::size_t slot = slot_of(e, read_count[
+        static_cast<std::size_t>(e)]);
+    if (owner[slot] != e) {
+      err << "read of edge " << e << " token "
+          << read_count[static_cast<std::size_t>(e)] << " at address "
+          << slot << " found owner " << owner[slot];
+      failed = true;
+      return;
+    }
+    owner[slot] = -1;
+    ++read_count[static_cast<std::size_t>(e)];
+  };
+
+  auto walk = [&](auto&& self, const Schedule& node) -> void {
+    if (failed) return;
+    for (std::int64_t i = 0; i < node.count() && !failed; ++i) {
+      if (node.is_leaf()) {
+        const ActorId a = node.actor();
+        for (EdgeId e : g.in_edges(a)) {
+          for (std::int64_t t = 0; t < g.edge(e).cns && !failed; ++t) {
+            read_token(e);
+          }
+        }
+        for (EdgeId e : g.out_edges(a)) {
+          for (std::int64_t t = 0; t < g.edge(e).prod && !failed; ++t) {
+            write_token(e);
+          }
+        }
+      } else {
+        for (const Schedule& child : node.body()) {
+          self(self, child);
+          if (failed) return;
+        }
+      }
+    }
+  };
+  walk(walk, schedule);
+  if (failed) {
+    result.error = err.str();
+    return result;
+  }
+
+  // End state: exactly the initial tokens remain.
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const std::int64_t live = write_count[e] - read_count[e];
+    if (live != g.edge(static_cast<EdgeId>(e)).delay) {
+      err << "edge " << e << " ended with " << live
+          << " live tokens, expected " << g.edge(static_cast<EdgeId>(e)).delay;
+      result.error = err.str();
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,37 @@
+// Execution-level validation of a shared-memory allocation.
+//
+// Replays one schedule period against the actual pool layout: every token
+// write claims the concrete address  offset(edge) + (k mod width(edge)),
+// every read frees it. If two buffers were overlapped in memory while
+// simultaneously holding live tokens — i.e. if any stage of the pipeline
+// (lifetime model, overlap test, first-fit) were wrong — some write would
+// land on an occupied slot and the check fails with a precise diagnosis.
+// This is the end-to-end oracle the whole library is tested against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "lifetime/lifetime_extract.h"
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+
+namespace sdf {
+
+struct PoolCheckResult {
+  bool ok = false;
+  std::string error;  ///< first violation, with edge/address detail
+};
+
+/// Executes `schedule` (one period) against the pool layout given by
+/// `lifetimes` (widths) and `alloc` (offsets). Initial tokens occupy the
+/// first delay slots of their buffer. Verifies:
+///  * every write lands on a free slot (no live value overwritten),
+///  * every read finds its own edge's token,
+///  * after the period, exactly the initial tokens remain.
+[[nodiscard]] PoolCheckResult check_allocation_by_execution(
+    const Graph& g, const Schedule& schedule,
+    const std::vector<BufferLifetime>& lifetimes, const Allocation& alloc);
+
+}  // namespace sdf

@@ -1,0 +1,41 @@
+// Threaded C code generation (Sec. 1's software-synthesis back end).
+//
+// Emits a self-contained C translation unit: a single shared memory pool
+// sized by the first-fit allocation, per-edge buffer offsets/capacities,
+// the loop nest of the optimized SAS, and one call per actor firing.
+// Actor bodies are extern functions (the "hand-optimized library" of the
+// paper); a weak default stub is emitted so the file links stand-alone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "lifetime/lifetime_extract.h"
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+struct CodegenOptions {
+  std::string token_type = "int32_t";
+  std::string pool_name = "sdf_pool";
+  /// Emit a main() that runs one schedule period (for smoke-testing the
+  /// generated file).
+  bool emit_main = true;
+  /// Code sharing (Sec. 11.2): actors mapped to the same implementation
+  /// name share one function (instances differ only in the buffer
+  /// arguments). Empty = one function per actor, named after it.
+  /// Size must equal the actor count when non-empty.
+  std::vector<std::string> impl_of;
+};
+
+/// Generates the C source. `lifetimes` and `alloc` must come from the same
+/// pipeline run as `schedule` (offsets are matched positionally by edge).
+[[nodiscard]] std::string generate_c_source(
+    const Graph& g, const Repetitions& q, const Schedule& schedule,
+    const std::vector<BufferLifetime>& lifetimes, const Allocation& alloc,
+    const CodegenOptions& options = {});
+
+}  // namespace sdf

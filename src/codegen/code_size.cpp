@@ -1,0 +1,72 @@
+#include "codegen/code_size.h"
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace sdf {
+namespace {
+
+struct Tally {
+  std::int64_t leaves_size = 0;  // sum of block sizes over appearances
+  std::int64_t num_leaves = 0;
+  std::int64_t num_loops = 0;
+  std::set<std::int32_t> types;
+};
+
+void walk(const Schedule& s, const CodeSizeModel& model, Tally& tally) {
+  if (s.is_leaf()) {
+    const auto a = static_cast<std::size_t>(s.actor());
+    if (a >= model.actor_size.size()) {
+      throw std::invalid_argument("code_size: actor outside the model");
+    }
+    tally.leaves_size += model.actor_size[a];
+    ++tally.num_leaves;
+    tally.types.insert(model.type_of.empty()
+                           ? static_cast<std::int32_t>(a)
+                           : model.type_of[a]);
+    // A leaf with a residual count needs its own loop when count > 1.
+    if (s.count() > 1) ++tally.num_loops;
+    return;
+  }
+  if (s.count() > 1) ++tally.num_loops;
+  for (const Schedule& child : s.body()) walk(child, model, tally);
+}
+
+}  // namespace
+
+CodeSizeModel CodeSizeModel::uniform(const Graph& g, std::int64_t size) {
+  CodeSizeModel model;
+  model.actor_size.assign(g.num_actors(), size);
+  return model;
+}
+
+std::int64_t inline_code_size(const Schedule& s, const CodeSizeModel& model) {
+  Tally tally;
+  walk(s, model, tally);
+  return tally.leaves_size + tally.num_loops * model.loop_overhead;
+}
+
+std::int64_t subroutine_code_size(const Schedule& s,
+                                  const CodeSizeModel& model) {
+  Tally tally;
+  walk(s, model, tally);
+  std::int64_t shared_blocks = 0;
+  // One copy of each referenced type's largest block (conservative:
+  // instances of one type may differ in size; the shared body must cover
+  // the largest).
+  for (const std::int32_t type : tally.types) {
+    std::int64_t biggest = 0;
+    for (std::size_t a = 0; a < model.actor_size.size(); ++a) {
+      const std::int32_t t = model.type_of.empty()
+                                 ? static_cast<std::int32_t>(a)
+                                 : model.type_of[a];
+      if (t == type) biggest = std::max(biggest, model.actor_size[a]);
+    }
+    shared_blocks += biggest;
+  }
+  return shared_blocks + tally.num_leaves * model.call_overhead +
+         tally.num_loops * model.loop_overhead;
+}
+
+}  // namespace sdf

@@ -1,0 +1,41 @@
+// Code-size models for looped schedules (Sec. 3's motivation and the
+// Sec. 11.2 inline-vs-procedure-call trade-off of Sung et al. [25]).
+//
+// Inline synthesis: every appearance instantiates the actor's code block;
+// loops cost a small constant. Subroutine synthesis: each distinct actor
+// *type* is emitted once; every appearance is a call. Instances of a
+// common type (the FIR's gains, a filterbank's filters) share code only in
+// the subroutine model — exactly the paper's Sec. 11.2 discussion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+
+namespace sdf {
+
+struct CodeSizeModel {
+  /// Code block size per actor (arbitrary units, e.g. instructions).
+  std::vector<std::int64_t> actor_size;
+  /// Type label per actor; instances of one type share a subroutine.
+  /// Empty = every actor is its own type.
+  std::vector<std::int32_t> type_of;
+  std::int64_t loop_overhead = 2;  ///< loop init + branch
+  std::int64_t call_overhead = 2;  ///< call + parameter setup per site
+
+  /// Uniform-size model with one type per actor.
+  static CodeSizeModel uniform(const Graph& g, std::int64_t size = 10);
+};
+
+/// Inline model: sum of block sizes over appearances + loop overheads.
+[[nodiscard]] std::int64_t inline_code_size(const Schedule& s,
+                                            const CodeSizeModel& model);
+
+/// Subroutine model: one block per referenced type + a call per
+/// appearance + loop overheads.
+[[nodiscard]] std::int64_t subroutine_code_size(const Schedule& s,
+                                                const CodeSizeModel& model);
+
+}  // namespace sdf

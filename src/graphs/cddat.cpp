@@ -1,0 +1,21 @@
+#include "graphs/cddat.h"
+
+namespace sdf {
+
+Graph cd_to_dat() {
+  Graph g("cddat");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const ActorId d = g.add_actor("D");
+  const ActorId e = g.add_actor("E");
+  const ActorId f = g.add_actor("F");
+  g.add_edge(a, b, 1, 1);
+  g.add_edge(b, c, 2, 3);
+  g.add_edge(c, d, 2, 7);
+  g.add_edge(d, e, 8, 7);
+  g.add_edge(e, f, 5, 1);
+  return g;
+}
+
+}  // namespace sdf

@@ -1,0 +1,13 @@
+// CD-to-DAT sample rate converter (44.1 kHz -> 48 kHz), the classic
+// multistage multirate chain used in [19]'s input-buffering discussion:
+//   A -(1/1)-> B -(2/3)-> C -(2/7)-> D -(8/7)-> E -(5/1)-> F
+// with repetitions (147, 147, 98, 28, 32, 160).
+#pragma once
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+[[nodiscard]] Graph cd_to_dat();
+
+}  // namespace sdf

@@ -1,0 +1,105 @@
+#include "graphs/filterbank.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sdf {
+namespace {
+
+struct Builder {
+  Graph& g;
+  FilterbankRates rates;
+  int next_id = 0;
+
+  ActorId add(const std::string& prefix) {
+    return g.add_actor(prefix + std::to_string(next_id++));
+  }
+
+  /// Builds one analysis+synthesis band pair of the remaining depth.
+  /// Returns (analysis entry actor, synthesis exit actor). `two_sided`
+  /// controls whether the high band recurses too.
+  std::pair<ActorId, ActorId> band(int remaining, bool two_sided) {
+    const ActorId fork = add("f");
+    const ActorId lo = add("lo");
+    const ActorId hi = add("hi");
+    const ActorId lo_up = add("ulo");
+    const ActorId hi_up = add("uhi");
+    const ActorId join = add("j");
+
+    g.add_edge(fork, lo, 1, rates.den);
+    g.add_edge(fork, hi, 1, rates.den);
+    g.add_edge(lo_up, join, rates.den, 1);
+    g.add_edge(hi_up, join, rates.den, 1);
+
+    auto wire_branch = [&](ActorId filter, ActorId up, std::int64_t rate,
+                           bool recurse) {
+      if (recurse && remaining > 1) {
+        const auto [entry, exit] = band(remaining - 1, two_sided);
+        g.add_edge(filter, entry, rate, 1);
+        g.add_edge(exit, up, 1, rate);
+      } else {
+        g.add_edge(filter, up, rate, rate);
+      }
+    };
+    wire_branch(lo, lo_up, rates.lo, /*recurse=*/true);
+    wire_branch(hi, hi_up, rates.hi, /*recurse=*/two_sided);
+    return {fork, join};
+  }
+};
+
+Graph make(int depth, FilterbankRates rates, bool two_sided,
+           std::string name) {
+  if (depth < 1) throw std::invalid_argument("filterbank: depth must be >=1");
+  Graph g(std::move(name));
+  Builder builder{g, rates};
+  const ActorId src = g.add_actor("src");
+  const ActorId snk = g.add_actor("snk");
+  const auto [entry, exit] = builder.band(depth, two_sided);
+  g.connect(src, entry);
+  g.connect(exit, snk);
+  return g;
+}
+
+}  // namespace
+
+Graph two_sided_filterbank(int depth, FilterbankRates rates,
+                           std::string name) {
+  if (name.empty()) {
+    name = "qmf_" + std::to_string(rates.lo) + "_" + std::to_string(rates.hi) +
+           "of" + std::to_string(rates.den) + "_" + std::to_string(depth) +
+           "d";
+  }
+  return make(depth, rates, /*two_sided=*/true, std::move(name));
+}
+
+Graph one_sided_filterbank(int depth, FilterbankRates rates,
+                           std::string name) {
+  if (name.empty()) {
+    name = "nqmf_" + std::to_string(rates.lo) + "_" +
+           std::to_string(rates.hi) + "of" + std::to_string(rates.den) + "_" +
+           std::to_string(depth) + "d";
+  }
+  return make(depth, rates, /*two_sided=*/false, std::move(name));
+}
+
+Graph qmf12(int depth) {
+  return two_sided_filterbank(depth, kRates12,
+                              "qmf12_" + std::to_string(depth) + "d");
+}
+
+Graph qmf23(int depth) {
+  return two_sided_filterbank(depth, kRates23,
+                              "qmf23_" + std::to_string(depth) + "d");
+}
+
+Graph qmf235(int depth) {
+  return two_sided_filterbank(depth, kRates235,
+                              "qmf235_" + std::to_string(depth) + "d");
+}
+
+Graph nqmf23(int depth) {
+  return one_sided_filterbank(depth, kRates23,
+                              "nqmf23_" + std::to_string(depth) + "d");
+}
+
+}  // namespace sdf

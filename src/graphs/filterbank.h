@@ -1,0 +1,44 @@
+// Parametric QMF filterbank benchmarks (paper Figs. 22-23, Sec. 10.1).
+//
+// Two-sided banks split every band recursively to the given depth and
+// resynthesize: node count 6*2^depth - 4 (paper: 20/44/188 at depth
+// 2/3/5). One-sided banks split only the low band: node count 6*depth + 2.
+//
+// A rate pair (den, lo, hi) means the analysis low/high filters consume
+// `den` tokens and produce `lo` / `hi` tokens per firing; the synthesis
+// side mirrors. The paper's three variants: 1/2-1/2 -> (2,1,1),
+// 1/3-2/3 -> (3,1,2), 2/5-3/5 -> (5,2,3).
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+struct FilterbankRates {
+  std::int64_t den = 2;
+  std::int64_t lo = 1;
+  std::int64_t hi = 1;
+};
+
+inline constexpr FilterbankRates kRates12{2, 1, 1};
+inline constexpr FilterbankRates kRates23{3, 1, 2};
+inline constexpr FilterbankRates kRates235{5, 2, 3};
+
+/// Two-sided (full binary tree) filterbank of the given depth (>= 1).
+[[nodiscard]] Graph two_sided_filterbank(int depth, FilterbankRates rates,
+                                         std::string name = {});
+
+/// One-sided (low-band-recursive) filterbank of the given depth (>= 1),
+/// paper Fig. 22.
+[[nodiscard]] Graph one_sided_filterbank(int depth, FilterbankRates rates,
+                                         std::string name = {});
+
+// Named variants used in Table 1.
+[[nodiscard]] Graph qmf12(int depth);   ///< two-sided, 1/2-1/2
+[[nodiscard]] Graph qmf23(int depth);   ///< two-sided, 1/3-2/3
+[[nodiscard]] Graph qmf235(int depth);  ///< two-sided, 2/5-3/5
+[[nodiscard]] Graph nqmf23(int depth);  ///< one-sided, 1/3-2/3
+
+}  // namespace sdf

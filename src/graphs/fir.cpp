@@ -1,0 +1,55 @@
+#include "graphs/fir.h"
+
+#include <stdexcept>
+
+namespace sdf {
+
+FirGraph fir_fine_grained(int taps) {
+  if (taps < 2) {
+    throw std::invalid_argument("fir_fine_grained: taps must be >= 2");
+  }
+  FirGraph fir;
+  Graph& g = fir.graph;
+  g.set_name("fir" + std::to_string(taps));
+
+  fir.source = g.add_actor("x");
+  fir.type_of.push_back(0);
+  const ActorId fork = g.add_actor("fork");
+  fir.type_of.push_back(0);
+  g.connect(fir.source, fork);
+
+  // The adder chain is built by the Chain higher-order function: unit i
+  // owns gain Gi and (for i >= 1) adder A(i-1) combining the running sum
+  // with Gi's product.
+  ActorId last = chain_hof(
+      g, taps,
+      [&](Graph& graph, int index, std::optional<ActorId> prev) -> ActorId {
+        const ActorId gain =
+            graph.add_actor("G" + std::to_string(index));
+        fir.type_of.push_back(1);
+        graph.connect(fork, gain);
+        if (!prev) return gain;  // first tap: the running sum starts here
+        const ActorId add =
+            graph.add_actor("A" + std::to_string(index - 1));
+        fir.type_of.push_back(2);
+        graph.connect(*prev, add);
+        graph.connect(gain, add);
+        return add;
+      });
+
+  fir.sink = g.add_actor("y");
+  fir.type_of.push_back(3);
+  g.connect(last, fir.sink);
+  return fir;
+}
+
+ActorId chain_hof(Graph& g, int n, const ChainUnitBuilder& builder) {
+  if (n < 1) throw std::invalid_argument("chain_hof: n must be >= 1");
+  std::optional<ActorId> prev;
+  for (int i = 0; i < n; ++i) {
+    prev = builder(g, i, prev);
+  }
+  return *prev;
+}
+
+}  // namespace sdf

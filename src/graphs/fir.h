@@ -1,0 +1,42 @@
+// Fine-grained FIR structures and the "Chain" higher-order constructor
+// (Sec. 12, Figs. 28-29).
+//
+// A fine-grained FIR is the scheduling stress test the paper closes with:
+// a fork feeding `taps` gain actors whose outputs fold through an adder
+// chain. Naive threading emits one code block per instance
+// (G0 G1 A0 G2 A1 ...); regularity extraction (loop compaction over
+// instance *types*) should recover the hand-written (n (G)(A)) loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+struct FirGraph {
+  Graph graph;
+  ActorId source = kInvalidActor;
+  ActorId sink = kInvalidActor;
+  /// Type label per actor for code-sharing/regularity analysis:
+  /// 0 = source/fork, 1 = gain, 2 = add, 3 = sink.
+  std::vector<std::int32_t> type_of;
+};
+
+/// Fig. 28: src -> fork -> taps gains -> adder chain -> sink. taps >= 2.
+[[nodiscard]] FirGraph fir_fine_grained(int taps);
+
+/// The Chain higher-order function (Fig. 29): instantiates `n` copies of a
+/// unit subgraph and wires them head-to-tail. The builder receives the
+/// graph, the instance index, and the previous instance's output actor
+/// (nullopt for the first), and returns the new instance's output actor.
+using ChainUnitBuilder = std::function<ActorId(
+    Graph&, int index, std::optional<ActorId> previous_output)>;
+
+/// Returns the final instance's output actor.
+ActorId chain_hof(Graph& g, int n, const ChainUnitBuilder& builder);
+
+}  // namespace sdf

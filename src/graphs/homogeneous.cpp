@@ -1,0 +1,35 @@
+#include "graphs/homogeneous.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sdf {
+
+Graph homogeneous_mesh(int chains, int chain_length) {
+  if (chains < 1 || chain_length < 1) {
+    throw std::invalid_argument("homogeneous_mesh: M, N must be >= 1");
+  }
+  Graph g("mesh_M" + std::to_string(chains) + "_N" +
+          std::to_string(chain_length));
+  const ActorId src = g.add_actor("src");
+  const ActorId snk = g.add_actor("snk");
+  for (int m = 0; m < chains; ++m) {
+    ActorId prev = src;
+    for (int n = 0; n < chain_length; ++n) {
+      const ActorId cur = g.add_actor("c" + std::to_string(m) + "_" +
+                                      std::to_string(n));
+      g.connect(prev, cur);
+      prev = cur;
+    }
+    g.connect(prev, snk);
+  }
+  return g;
+}
+
+std::int64_t homogeneous_mesh_nonshared(int chains, int chain_length) {
+  return static_cast<std::int64_t>(chains) * (chain_length + 1);
+}
+
+std::int64_t homogeneous_mesh_shared(int chains) { return chains + 1; }
+
+}  // namespace sdf

@@ -1,0 +1,21 @@
+// The homogeneous M x N mesh of paper Fig. 26 (Sec. 10.2): a source fans
+// out to M parallel chains of N actors each, all merging into one sink;
+// every rate is 1. No matter the schedule there are never more than M+1
+// live tokens, so shared allocation achieves M+1 while a non-shared
+// implementation needs M(N-1) + 2M = M(N+1).
+#pragma once
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+[[nodiscard]] Graph homogeneous_mesh(int chains, int chain_length);
+
+/// Non-shared cost the paper quotes for this family: M(N+1).
+[[nodiscard]] std::int64_t homogeneous_mesh_nonshared(int chains,
+                                                      int chain_length);
+
+/// Shared cost the paper quotes: M+1.
+[[nodiscard]] std::int64_t homogeneous_mesh_shared(int chains);
+
+}  // namespace sdf

@@ -1,0 +1,157 @@
+#include "graphs/ptolemy.h"
+
+#include <string>
+
+namespace sdf {
+
+Graph modem_16qam() {
+  Graph g("16qamModem");
+  const ActorId bits = g.add_actor("bitSrc");
+  const ActorId scram = g.add_actor("scrambler");
+  const ActorId sym = g.add_actor("bits2sym");    // 4 bits -> 1 symbol
+  const ActorId map = g.add_actor("qamMap");      // symbol -> I/Q pair
+  const ActorId shape = g.add_actor("pulseShape");  // x4 upsample
+  const ActorId dac = g.add_actor("dac");
+  const ActorId chan = g.add_actor("channel");
+  const ActorId agc = g.add_actor("agc");
+  const ActorId match = g.add_actor("matchedFilt");  // x4 decimate
+  const ActorId eq = g.add_actor("equalizer");
+  const ActorId slicer = g.add_actor("slicer");
+  const ActorId demap = g.add_actor("sym2bits");  // 1 symbol -> 4 bits
+  const ActorId descr = g.add_actor("descrambler");
+  const ActorId ber = g.add_actor("berCheck");    // compares 16-bit blocks
+  const ActorId snk = g.add_actor("sink");
+
+  g.connect(bits, scram);
+  g.add_edge(scram, sym, 1, 4);
+  g.connect(sym, map);
+  g.add_edge(map, shape, 1, 4);
+  g.connect(shape, dac);
+  g.connect(dac, chan);
+  g.connect(chan, agc);
+  g.add_edge(agc, match, 4, 1);
+  g.connect(match, eq);
+  g.connect(eq, slicer);
+  g.add_edge(slicer, demap, 4, 1);
+  g.connect(demap, descr);
+  g.add_edge(descr, ber, 1, 16);
+  g.connect(ber, snk);
+  return g;
+}
+
+Graph pam4_xmitrec() {
+  Graph g("4pamxmitrec");
+  const ActorId bits = g.add_actor("bitSrc");
+  const ActorId enc = g.add_actor("grayEnc");   // 2 bits -> 1 level
+  const ActorId lvl = g.add_actor("level");
+  const ActorId up1 = g.add_actor("interp1");   // x2
+  const ActorId up2 = g.add_actor("interp2");   // x2
+  const ActorId up3 = g.add_actor("interp3");   // x2
+  const ActorId tx = g.add_actor("txFilt");
+  const ActorId chan = g.add_actor("channel");
+  const ActorId rx = g.add_actor("rxFilt");
+  const ActorId dn1 = g.add_actor("decim1");    // /2
+  const ActorId dn2 = g.add_actor("decim2");    // /2
+  const ActorId dn3 = g.add_actor("decim3");    // /2
+  const ActorId det = g.add_actor("detector");
+  const ActorId dec = g.add_actor("grayDec");   // 1 level -> 2 bits
+  const ActorId snk = g.add_actor("sink");
+
+  g.add_edge(bits, enc, 1, 2);
+  g.connect(enc, lvl);
+  g.add_edge(lvl, up1, 1, 1);
+  g.add_edge(up1, up2, 2, 1);
+  g.add_edge(up2, up3, 2, 1);
+  g.add_edge(up3, tx, 2, 1);
+  g.connect(tx, chan);
+  g.connect(chan, rx);
+  g.add_edge(rx, dn1, 1, 2);
+  g.add_edge(dn1, dn2, 1, 2);
+  g.add_edge(dn2, dn3, 1, 2);
+  g.connect(dn3, det);
+  g.add_edge(det, dec, 2, 1);
+  g.connect(dec, snk);
+  return g;
+}
+
+Graph block_vox() {
+  Graph g("blockVox");
+  const ActorId mic = g.add_actor("voiceSrc");
+  const ActorId frame = g.add_actor("framer");     // 32-sample frames
+  const ActorId win = g.add_actor("window");
+  const ActorId lpc = g.add_actor("lpcAnalysis");  // frame -> 8 coeffs
+  const ActorId pitch = g.add_actor("pitchTrack");  // frame -> 1 value
+  const ActorId quant = g.add_actor("quantizer");
+  const ActorId synthSrc = g.add_actor("toneSrc");  // synthesized carrier
+  const ActorId exFrame = g.add_actor("exFramer");
+  const ActorId envApply = g.add_actor("applyEnv");  // consumes coeffs+frame
+  const ActorId gain = g.add_actor("gainMod");       // consumes pitch
+  const ActorId deframe = g.add_actor("deframer");   // frame -> samples
+  const ActorId interp = g.add_actor("smoother");
+  const ActorId spk = g.add_actor("speaker");
+
+  g.add_edge(mic, frame, 1, 32);
+  g.connect(frame, win);
+  g.connect(win, lpc);      // one frame in, one coeff-set out
+  g.connect(win, pitch);
+  g.add_edge(lpc, quant, 8, 8);
+  g.add_edge(synthSrc, exFrame, 1, 32);
+  g.add_edge(quant, envApply, 8, 8);
+  g.connect(exFrame, envApply);
+  g.connect(envApply, gain);
+  g.connect(pitch, gain);
+  g.add_edge(gain, deframe, 1, 1);
+  g.add_edge(deframe, interp, 32, 1);
+  g.connect(interp, spk);
+  return g;
+}
+
+Graph overlap_add_fft() {
+  Graph g("overAddFFT");
+  const ActorId src = g.add_actor("src");
+  const ActorId seg = g.add_actor("segment");   // hop 8 -> frame 16
+  const ActorId win = g.add_actor("window");
+  const ActorId fft = g.add_actor("fft16");
+  const ActorId gain = g.add_actor("specGain");
+  const ActorId ifft = g.add_actor("ifft16");
+  const ActorId ola = g.add_actor("overlapAdd");  // frame 16 -> hop 8
+  const ActorId snk = g.add_actor("sink");
+
+  // 50% overlap: 8 fresh samples produce a 16-sample frame. The 8-sample
+  // history is modeled as initial tokens on the segmenter input.
+  g.add_edge(src, seg, 1, 8, /*delay=*/8);
+  g.add_edge(seg, win, 16, 16);
+  g.add_edge(win, fft, 16, 16);
+  g.add_edge(fft, gain, 16, 16);
+  g.add_edge(gain, ifft, 16, 16);
+  g.add_edge(ifft, ola, 16, 16);
+  g.add_edge(ola, snk, 8, 1);
+  return g;
+}
+
+Graph phased_array() {
+  Graph g("phasedArray");
+  const ActorId beam = g.add_actor("beamSum");
+  for (int ch = 0; ch < 4; ++ch) {
+    const std::string suffix = std::to_string(ch);
+    const ActorId sensor = g.add_actor("sensor" + suffix);
+    const ActorId filt = g.add_actor("bandpass" + suffix);
+    const ActorId phase = g.add_actor("steer" + suffix);
+    g.connect(sensor, filt);
+    g.connect(filt, phase);
+    g.connect(phase, beam);
+  }
+  const ActorId mag = g.add_actor("magnitude");
+  const ActorId integ = g.add_actor("integrate");  // 8-sample coherent sum
+  const ActorId cfar = g.add_actor("cfar");        // needs 4 cells
+  const ActorId thresh = g.add_actor("threshold");
+  const ActorId disp = g.add_actor("display");
+  g.connect(beam, mag);
+  g.add_edge(mag, integ, 1, 8);
+  g.add_edge(integ, cfar, 1, 4);
+  g.connect(cfar, thresh);
+  g.connect(thresh, disp);
+  return g;
+}
+
+}  // namespace sdf

@@ -1,0 +1,35 @@
+// Reconstructions of the Ptolemy demonstration systems used in Table 1.
+//
+// The original Ptolemy 0.x demo graphs are not distributable, so these are
+// structural reconstructions with the application's characteristic rate
+// ladders (see DESIGN.md, substitutions). The scheduling/allocation
+// algorithms consume only topology and rates, so the qualitative behaviour
+// (shared << non-shared, heuristic rankings) carries over.
+#pragma once
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+/// 16-QAM modem: bit source -> scrambler -> 4-bit symbol mapping -> pulse
+/// shaping (x4 upsampling) -> channel -> matched filter (x4 decimation) ->
+/// equalizer -> slicer -> bits -> descrambler -> sink.
+[[nodiscard]] Graph modem_16qam();
+
+/// 4-PAM transmitter/receiver pair: 2 bits/symbol, x8 interpolation and
+/// decimation chains split across two half-band stages.
+[[nodiscard]] Graph pam4_xmitrec();
+
+/// Block vocoder: framing, spectral envelope extraction on 32-sample
+/// blocks, excitation synthesis, modulation, overlap synthesis.
+[[nodiscard]] Graph block_vox();
+
+/// Overlap-add FFT filter: 50%-overlapped 16-point frames, FFT, spectral
+/// gain, IFFT, overlap-add reconstruction.
+[[nodiscard]] Graph overlap_add_fft();
+
+/// Phased array front end: 4 sensor channels, per-channel filtering and
+/// phase steering, beam summation, x8 decimating detector, threshold.
+[[nodiscard]] Graph phased_array();
+
+}  // namespace sdf

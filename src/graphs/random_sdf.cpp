@@ -1,0 +1,101 @@
+#include "graphs/random_sdf.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <string>
+
+namespace sdf {
+
+Graph random_sdf_graph(const RandomSdfOptions& options, std::mt19937& rng) {
+  const int n = options.num_actors;
+  Graph g("random_" + std::to_string(n));
+  for (int i = 0; i < n; ++i) g.add_actor("r" + std::to_string(i));
+
+  // Random topological position per actor.
+  std::vector<ActorId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // Repetition counts: either bounded smooth numbers per actor, or (in
+  // compounding mode) filled in while the spanning tree is grown.
+  std::vector<std::int64_t> reps(static_cast<std::size_t>(n), 1);
+  if (options.rate_mode == RandomRateMode::kBoundedRepetitions) {
+    static constexpr int kFactors[] = {1, 2, 2, 3, 3, 4, 5, 6, 8};
+    std::uniform_int_distribution<std::size_t> pick_factor(
+        0, std::size(kFactors) - 1);
+    std::uniform_int_distribution<int> pick_nfactors(
+        1, std::max(1, options.max_rate_factors));
+    for (auto& r : reps) {
+      const int k = pick_nfactors(rng);
+      for (int f = 0; f < k; ++f) r *= kFactors[pick_factor(rng)];
+    }
+  }
+
+  std::uniform_int_distribution<int> pick_scale(1, std::max(
+      1, options.max_scale));
+  auto add_rate_edge = [&](ActorId src, ActorId snk) {
+    const std::int64_t qs = reps[static_cast<std::size_t>(src)];
+    const std::int64_t qt = reps[static_cast<std::size_t>(snk)];
+    const std::int64_t gcd = std::gcd(qs, qt);
+    const std::int64_t k = pick_scale(rng);
+    // prod*qs == cns*qt  <=>  prod = k*qt/g, cns = k*qs/g.
+    g.add_edge(src, snk, k * (qt / gcd), k * (qs / gcd));
+  };
+
+  // Spanning structure: every non-first actor in topological order gets an
+  // edge from a uniformly random earlier actor.
+  std::set<std::pair<ActorId, ActorId>> present;
+  std::uniform_int_distribution<int> pick_tree_rate(
+      1, std::max(1, options.max_tree_rate));
+  constexpr std::int64_t kRepCap = 1ll << 22;  // keep periods simulatable
+  for (int i = 1; i < n; ++i) {
+    std::uniform_int_distribution<int> pick_pred(0, i - 1);
+    const ActorId src = order[static_cast<std::size_t>(pick_pred(rng))];
+    const ActorId snk = order[static_cast<std::size_t>(i)];
+    if (options.rate_mode == RandomRateMode::kCompoundingRates) {
+      // Draw prod/cns for the tree edge and let q(snk) follow from
+      // q(src): q(snk) = q(src) * prod / cns, scaling the whole component
+      // up when the division does not come out even. Scaling is avoided
+      // here by forcing prod to absorb the remainder: pick prod, cns and
+      // rescale q(snk) rationally via gcd.
+      std::int64_t prod = pick_tree_rate(rng);
+      std::int64_t cns = pick_tree_rate(rng);
+      const std::int64_t qs = reps[static_cast<std::size_t>(src)];
+      // q(snk) = qs * prod / cns must be integral: shrink cns to a divisor
+      // of qs * prod.
+      const std::int64_t num = qs * prod;
+      cns = std::gcd(cns, num);
+      std::int64_t qt = num / cns;
+      if (qt > kRepCap) {  // clamp runaway growth
+        prod = 1;
+        cns = 1;
+        qt = qs;
+      }
+      reps[static_cast<std::size_t>(snk)] = qt;
+      g.add_edge(src, snk, prod, cns);
+    } else {
+      add_rate_edge(src, snk);
+    }
+    present.insert({src, snk});
+  }
+
+  // Extra forward edges up to the density target.
+  const auto extra = static_cast<int>(options.extra_edge_ratio * n);
+  std::uniform_int_distribution<int> pick_pos(0, n - 1);
+  for (int tries = 0, added = 0; added < extra && tries < 20 * extra;
+       ++tries) {
+    int a = pick_pos(rng);
+    int b = pick_pos(rng);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    const ActorId src = order[static_cast<std::size_t>(a)];
+    const ActorId snk = order[static_cast<std::size_t>(b)];
+    if (!present.insert({src, snk}).second) continue;
+    add_rate_edge(src, snk);
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace sdf

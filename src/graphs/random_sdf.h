@@ -1,0 +1,52 @@
+// Random consistent acyclic SDF graph generation (Sec. 10.3 corpus).
+//
+// Consistency by construction: a repetition count is drawn per actor first
+// (smooth numbers, so neighbors share factors the way practical multirate
+// systems do), then each edge's prod/cns pair is derived from the endpoint
+// repetitions:  prod = q(snk)/gcd, cns = q(src)/gcd, scaled by a small
+// random factor. Connectivity via a random spanning arborescence over a
+// random topological order, plus extra forward edges to the target density.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+/// How edge rates are drawn.
+enum class RandomRateMode {
+  /// Repetition counts drawn per actor first (bounded, smooth); edge rates
+  /// derived from them. Keeps q bounded regardless of graph size — graphs
+  /// resemble practical multirate systems.
+  kBoundedRepetitions,
+  /// prod/cns drawn independently per spanning-tree edge and propagated,
+  /// so repetition counts compound multiplicatively with depth, like a
+  /// chain of decimators. Large graphs grow a dominant buffer, which is
+  /// the regime where shared-vs-non-shared improvement decays with size
+  /// (the paper's Fig. 27(a) trend).
+  kCompoundingRates,
+};
+
+struct RandomSdfOptions {
+  int num_actors = 20;
+  /// Average edges per actor beyond the spanning tree (0.5 keeps graphs
+  /// sparse like practical systems).
+  double extra_edge_ratio = 0.5;
+  /// Repetition counts are products of factors drawn from {1,2,3,4,5};
+  /// this bounds how many factors multiply together
+  /// (kBoundedRepetitions only).
+  int max_rate_factors = 2;
+  /// Scale factor k on (prod, cns) pairs is drawn from [1, max_scale].
+  int max_scale = 2;
+  RandomRateMode rate_mode = RandomRateMode::kBoundedRepetitions;
+  /// kCompoundingRates: tree-edge prod/cns drawn from [1, max_tree_rate].
+  int max_tree_rate = 3;
+};
+
+/// Generates one random graph. Always consistent, connected and acyclic.
+[[nodiscard]] Graph random_sdf_graph(const RandomSdfOptions& options,
+                                     std::mt19937& rng);
+
+}  // namespace sdf

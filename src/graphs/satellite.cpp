@@ -1,0 +1,59 @@
+#include "graphs/satellite.h"
+
+namespace sdf {
+
+Graph satellite_receiver() {
+  Graph g("satrec");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const ActorId gg = g.add_actor("G");
+  const ActorId h = g.add_actor("H");
+  const ActorId i = g.add_actor("I");
+  const ActorId d = g.add_actor("D");
+  const ActorId e = g.add_actor("E");
+  const ActorId f = g.add_actor("F");
+  const ActorId k = g.add_actor("K");
+  const ActorId l = g.add_actor("L");
+  const ActorId m = g.add_actor("M");
+  const ActorId n = g.add_actor("N");
+  const ActorId s = g.add_actor("S");
+  const ActorId j = g.add_actor("J");
+  const ActorId t = g.add_actor("T");
+  const ActorId u = g.add_actor("U");
+  const ActorId p = g.add_actor("P");
+  const ActorId qq = g.add_actor("Q");
+  const ActorId r = g.add_actor("R");
+  const ActorId v = g.add_actor("V");
+  const ActorId w = g.add_actor("W");
+
+  // Channel 1 front end: 1056 -> 264 -> 24 firings.
+  g.add_edge(a, b, 1, 4);
+  g.add_edge(b, c, 1, 11);
+  g.connect(c, gg);
+  g.connect(gg, h);
+  g.connect(h, i);
+  // Channel 2 front end.
+  g.add_edge(d, e, 1, 4);
+  g.add_edge(e, f, 1, 11);
+  g.connect(f, k);
+  g.connect(k, l);
+  g.connect(l, m);
+  // Merge into the shared back end running at 240 firings per period.
+  g.add_edge(i, n, 10, 1);
+  g.add_edge(m, s, 10, 1);
+  g.connect(n, s);
+  g.connect(s, j);
+  g.connect(j, t);
+  g.connect(t, u);
+  g.connect(u, p);
+  // Block-level control path (fires once per period).
+  g.add_edge(p, qq, 1, 240);
+  g.connect(qq, r);
+  g.connect(r, v);
+  // Output stage.
+  g.add_edge(v, w, 240, 1);
+  return g;
+}
+
+}  // namespace sdf

@@ -1,0 +1,17 @@
+// Satellite receiver benchmark (paper Fig. 24, from Ritz et al. [24]).
+//
+// Reconstructed from the repetition vector pinned by the APGAN schedule the
+// paper prints in Sec. 11.1.3:
+//   (24 (11 (4A) B) C G H I (11 (4D) E) F K L M 10(N S J T U P)) (Q R V 240W)
+// i.e. q(A)=q(D)=1056, q(B)=q(E)=264, q(C,G,H,I,F,K,L,M)=24,
+// q(N,S,J,T,U,P)=240, q(Q,R,V)=1, q(W)=240. Two identical front-end
+// channels merge into a shared back end. See DESIGN.md (substitutions).
+#pragma once
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+[[nodiscard]] Graph satellite_receiver();
+
+}  // namespace sdf

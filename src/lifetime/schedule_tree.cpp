@@ -1,0 +1,131 @@
+#include "lifetime/schedule_tree.h"
+
+#include <stdexcept>
+
+namespace sdf {
+
+ScheduleTree::ScheduleTree(const Graph& g, const Schedule& s) {
+  if (!s.is_single_appearance(g.num_actors())) {
+    throw std::invalid_argument(
+        "ScheduleTree: schedule is not single-appearance");
+  }
+  leaf_of_.assign(g.num_actors(), kNoTreeNode);
+  root_ = build(g, s, kNoTreeNode, 0);
+  compute_times();
+}
+
+TreeNodeId ScheduleTree::build(const Graph& g, const Schedule& s,
+                               TreeNodeId parent, std::int32_t depth) {
+  const auto id = static_cast<TreeNodeId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(id)].parent = parent;
+  nodes_[static_cast<std::size_t>(id)].depth = depth;
+
+  if (s.is_leaf()) {
+    auto& n = nodes_[static_cast<std::size_t>(id)];
+    n.actor = s.actor();
+    n.leaf_count = s.count();
+    n.loop = 1;
+    leaf_of_[static_cast<std::size_t>(s.actor())] = id;
+    return id;
+  }
+
+  nodes_[static_cast<std::size_t>(id)].loop = s.count();
+  const auto& body = s.body();
+  if (body.size() == 1) {
+    // Degenerate single-child loop: treat as (count child)(implicit);
+    // binarize by splicing the child up with merged loop factor. To keep
+    // node semantics simple we instead wrap: loop node whose left child is
+    // the body and whose right child is absent is not representable, so
+    // merge counts directly.
+    Schedule merged = body.front();
+    if (merged.is_leaf()) {
+      auto& n = nodes_[static_cast<std::size_t>(id)];
+      n.actor = merged.actor();
+      n.leaf_count = merged.count() * s.count();
+      n.loop = 1;
+      leaf_of_[static_cast<std::size_t>(merged.actor())] = id;
+      return id;
+    }
+    merged.set_count(merged.count() * s.count());
+    nodes_.pop_back();
+    return build(g, merged, parent, depth);
+  }
+
+  // Right-leaning binarization of bodies with > 2 children.
+  const TreeNodeId left = build(g, body.front(), id, depth + 1);
+  TreeNodeId right;
+  if (body.size() == 2) {
+    right = build(g, body[1], id, depth + 1);
+  } else {
+    Schedule rest = Schedule::sequence(
+        std::vector<Schedule>(body.begin() + 1, body.end()));
+    right = build(g, rest, id, depth + 1);
+  }
+  auto& n = nodes_[static_cast<std::size_t>(id)];
+  n.left = left;
+  n.right = right;
+  return id;
+}
+
+void ScheduleTree::compute_times() {
+  // Bottom-up durations (children are created after parents, so reverse
+  // index order is a valid post-order).
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    TreeNode& n = nodes_[i];
+    if (n.is_leaf()) {
+      n.dur = 1;
+    } else {
+      n.dur = n.loop * (nodes_[static_cast<std::size_t>(n.left)].dur +
+                        nodes_[static_cast<std::size_t>(n.right)].dur);
+    }
+  }
+  // Top-down starts (parents precede children in index order).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    TreeNode& n = nodes_[i];
+    if (n.parent == kNoTreeNode) n.start = 0;
+    n.stop = n.start + n.dur;
+    if (!n.is_leaf()) {
+      auto& l = nodes_[static_cast<std::size_t>(n.left)];
+      auto& r = nodes_[static_cast<std::size_t>(n.right)];
+      l.start = n.start;
+      r.start = n.start + l.dur;
+    }
+  }
+}
+
+TreeNodeId ScheduleTree::least_common_parent(TreeNodeId a,
+                                             TreeNodeId b) const {
+  while (a != b) {
+    const auto& na = nodes_[static_cast<std::size_t>(a)];
+    const auto& nb = nodes_[static_cast<std::size_t>(b)];
+    if (na.depth >= nb.depth) {
+      a = na.parent;
+    } else {
+      b = nb.parent;
+    }
+    if (a == kNoTreeNode || b == kNoTreeNode) {
+      throw std::logic_error("least_common_parent: disjoint trees");
+    }
+  }
+  return a;
+}
+
+bool ScheduleTree::is_ancestor_or_self(TreeNodeId anc, TreeNodeId node) const {
+  while (node != kNoTreeNode) {
+    if (node == anc) return true;
+    node = nodes_[static_cast<std::size_t>(node)].parent;
+  }
+  return false;
+}
+
+std::int64_t ScheduleTree::iterations_of(TreeNodeId v) const {
+  std::int64_t product = 1;
+  while (v != kNoTreeNode) {
+    product *= nodes_[static_cast<std::size_t>(v)].loop;
+    v = nodes_[static_cast<std::size_t>(v)].parent;
+  }
+  return product;
+}
+
+}  // namespace sdf

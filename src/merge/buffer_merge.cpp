@@ -1,0 +1,190 @@
+#include "merge/buffer_merge.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace sdf {
+
+CbpTable cbp_none(const Graph& g) {
+  return CbpTable(g.num_actors(), 0);
+}
+
+CbpTable cbp_all_consuming(const Graph& g) {
+  CbpTable cbp(g.num_actors(), std::numeric_limits<std::int64_t>::max());
+  for (std::size_t a = 0; a < g.num_actors(); ++a) {
+    const auto id = static_cast<ActorId>(a);
+    if (g.in_edges(id).empty()) {
+      cbp[a] = 0;
+      continue;
+    }
+    for (EdgeId e : g.in_edges(id)) {
+      cbp[a] = std::min(cbp[a], g.edge(e).cns);
+    }
+  }
+  return cbp;
+}
+
+MergeResult merge_buffers(const Graph& g, const ScheduleTree& tree,
+                          const std::vector<BufferLifetime>& lifetimes,
+                          const CbpTable& cbp) {
+  if (cbp.size() != g.num_actors()) {
+    throw std::invalid_argument("merge_buffers: cbp table size mismatch");
+  }
+  if (lifetimes.size() != g.num_edges()) {
+    throw std::invalid_argument("merge_buffers: lifetime vector mismatch");
+  }
+
+  MergeResult result;
+  result.region_of_edge.assign(g.num_edges(), -1);
+
+  // Start with one region per buffer; then fold mergeable pairs.
+  struct Region {
+    std::vector<EdgeId> edges;
+    std::int64_t width = 0;
+    PeriodicInterval interval;
+    TreeNodeId lca = kNoTreeNode;
+    bool alive = true;
+    /// The frontier edge whose sink actor may continue the chain.
+    EdgeId tail = kInvalidEdge;
+  };
+  std::vector<Region> regions;
+  regions.reserve(lifetimes.size());
+  std::vector<std::int32_t> region_of(g.num_edges(), -1);
+  for (const BufferLifetime& b : lifetimes) {
+    Region r;
+    r.edges = {b.edge};
+    r.width = b.width;
+    r.interval = b.interval;
+    r.lca = b.lca;
+    r.tail = b.edge;
+    region_of[static_cast<std::size_t>(b.edge)] =
+        static_cast<std::int32_t>(regions.size());
+    regions.push_back(std::move(r));
+  }
+
+  // Greedy chain folding: process actors in schedule-leaf order so chains
+  // fold left to right along the execution.
+  std::vector<ActorId> actor_order;
+  actor_order.reserve(g.num_actors());
+  for (std::size_t a = 0; a < g.num_actors(); ++a) {
+    actor_order.push_back(static_cast<ActorId>(a));
+  }
+  std::sort(actor_order.begin(), actor_order.end(), [&](ActorId x, ActorId y) {
+    const TreeNodeId lx = tree.leaf_of(x);
+    const TreeNodeId ly = tree.leaf_of(y);
+    const std::int64_t sx = lx == kNoTreeNode ? -1 : tree.node(lx).start;
+    const std::int64_t sy = ly == kNoTreeNode ? -1 : tree.node(ly).start;
+    return sx < sy;
+  });
+
+  for (ActorId a : actor_order) {
+    const auto ia = static_cast<std::size_t>(a);
+    // Merge only through single-input single-output actors: with multiple
+    // inputs or outputs, which pair overlays which is ambiguous under the
+    // pairwise CBP model.
+    if (g.in_edges(a).size() != 1 || g.out_edges(a).size() != 1) continue;
+    if (cbp[ia] <= 0) continue;
+    const EdgeId ei = g.in_edges(a).front();
+    const EdgeId eo = g.out_edges(a).front();
+    const Edge& in_edge = g.edge(ei);
+    if (in_edge.src == in_edge.snk) continue;  // self loop
+    if (g.edge(eo).delay > 0 || in_edge.delay > 0) continue;
+
+    auto& ri = regions[static_cast<std::size_t>(
+        region_of[static_cast<std::size_t>(ei)])];
+    auto& ro = regions[static_cast<std::size_t>(
+        region_of[static_cast<std::size_t>(eo)])];
+    if (&ri == &ro || !ri.alive || !ro.alive) continue;
+    if (ri.tail != ei) continue;  // input buffer is not the chain frontier
+
+    const BufferLifetime& bi = lifetimes[static_cast<std::size_t>(ei)];
+    const BufferLifetime& bo = lifetimes[static_cast<std::size_t>(eo)];
+    // Same loop context => shared periodicity and abutting windows: one
+    // lca must be an ancestor of the other with only loop-count-1 nodes
+    // (binarization artifacts) on the path between them.
+    if (bi.lca == kNoTreeNode || bo.lca == kNoTreeNode) continue;
+    {
+      TreeNodeId low, high;
+      if (tree.is_ancestor_or_self(bi.lca, bo.lca)) {
+        low = bo.lca;
+        high = bi.lca;
+      } else if (tree.is_ancestor_or_self(bo.lca, bi.lca)) {
+        low = bi.lca;
+        high = bo.lca;
+      } else {
+        continue;
+      }
+      bool same_context = true;
+      for (TreeNodeId w = low; w != high; w = tree.node(w).parent) {
+        if (tree.node(w).loop != 1) {
+          same_context = false;
+          break;
+        }
+      }
+      if (!same_context) continue;
+    }
+    if (ro.edges.size() != 1) continue;  // fold output buffers one at a time
+
+    // Merged width: the output region (already possibly widened by prior
+    // merges on the input side) overwrites the input as it drains.
+    const std::int64_t lag = in_edge.cns - std::min(cbp[ia], in_edge.cns);
+    const std::int64_t merged_width =
+        std::max(ri.width, bo.width + lag);
+    const std::int64_t saved = ri.width + bo.width - merged_width;
+    if (saved <= 0) continue;  // merging must pay
+
+    // Union interval: same lca, so same periods; span start(bi)..end(bo).
+    const std::int64_t start = std::min(ri.interval.first_start(),
+                                        bo.interval.first_start());
+    const std::int64_t end =
+        std::max(ri.interval.first_start() + ri.interval.burst_duration(),
+                 bo.interval.first_start() + bo.interval.burst_duration());
+    PeriodicInterval merged_interval(start, end - start,
+                                     bo.interval.periods(),
+                                     bo.interval.counts());
+
+    result.width_saved += saved;
+    ri.alive = false;
+    ro.edges.insert(ro.edges.begin(), ri.edges.begin(), ri.edges.end());
+    ro.width = merged_width;
+    ro.interval = std::move(merged_interval);
+    ro.tail = eo;
+    for (EdgeId e : ri.edges) {
+      region_of[static_cast<std::size_t>(e)] =
+          region_of[static_cast<std::size_t>(eo)];
+    }
+  }
+
+  for (const Region& r : regions) {
+    if (!r.alive) continue;
+    MergedBuffer mb;
+    mb.edges = r.edges;
+    mb.width = r.width;
+    mb.interval = r.interval;
+    mb.lca = r.lca;
+    const auto index = static_cast<std::int32_t>(result.buffers.size());
+    for (EdgeId e : r.edges) {
+      result.region_of_edge[static_cast<std::size_t>(e)] = index;
+    }
+    result.buffers.push_back(std::move(mb));
+  }
+  return result;
+}
+
+std::vector<BufferLifetime> merged_lifetimes(const MergeResult& merged) {
+  std::vector<BufferLifetime> out;
+  out.reserve(merged.buffers.size());
+  for (const MergedBuffer& mb : merged.buffers) {
+    BufferLifetime b;
+    b.edge = mb.edges.front();
+    b.width = mb.width;
+    b.interval = mb.interval;
+    b.lca = mb.lca;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace sdf

@@ -1,0 +1,72 @@
+// Buffer merging via the consume-before-produce (CBP) parameter —
+// the Sec. 12 "future directions" technique, built on top of the lifetime
+// machinery of this library.
+//
+// The coarse shared-buffer model forbids an actor's output buffer from
+// overlaying its input buffer because both are live across the actor's
+// firings. Many actors, however, consume (part of) their input before
+// writing any output; the CBP parameter cbp(a) in [0, cns] states how many
+// input tokens per firing are guaranteed dead before the first output
+// token is written. Merging an input buffer bi and output buffer bo
+// through such an actor needs only
+//     max(w(bi), w(bo) + cns - cbp)
+// locations instead of w(bi) + w(bo) — the output overwrites the input as
+// it drains (cf. the buffer-merging formalism of Murthy & Bhattacharyya's
+// follow-up work).
+//
+// Scope: a pair is mergeable when the two buffers have the SAME least
+// common parent in the schedule tree (their live windows abut inside one
+// loop body and share periodicity); chains of mergeable pairs are folded
+// greedily left to right.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lifetime/lifetime_extract.h"
+#include "lifetime/schedule_tree.h"
+#include "sdf/graph.h"
+
+namespace sdf {
+
+/// Per-actor CBP values, indexed by ActorId, each in [0, min cns over the
+/// actor's input edges]. Use cbp_all_consuming() for the optimistic
+/// "every actor finishes reading before it writes" assumption and
+/// cbp_none() for the conservative baseline (merging disabled).
+using CbpTable = std::vector<std::int64_t>;
+
+[[nodiscard]] CbpTable cbp_none(const Graph& g);
+/// cbp(a) = min over input edges of cns(e) (full consume-before-produce).
+[[nodiscard]] CbpTable cbp_all_consuming(const Graph& g);
+
+/// One merged storage region: covers 1..N original edge buffers.
+struct MergedBuffer {
+  std::vector<EdgeId> edges;  ///< original buffers folded into this region
+  std::int64_t width = 0;
+  PeriodicInterval interval;
+  TreeNodeId lca = kNoTreeNode;
+};
+
+struct MergeResult {
+  std::vector<MergedBuffer> buffers;
+  /// region index per original edge (parallel to the lifetime vector).
+  std::vector<std::int32_t> region_of_edge;
+  /// Sum of widths saved relative to the unmerged instance.
+  std::int64_t width_saved = 0;
+};
+
+/// Greedily merges input/output buffer pairs through actors whose CBP
+/// permits it. `lifetimes` must come from extract_lifetimes over `tree`.
+[[nodiscard]] MergeResult merge_buffers(const Graph& g,
+                                        const ScheduleTree& tree,
+                                        const std::vector<BufferLifetime>&
+                                            lifetimes,
+                                        const CbpTable& cbp);
+
+/// Converts merged regions back into a lifetime vector (one entry per
+/// region) so the standard intersection-graph/first-fit pipeline can
+/// allocate them. The `edge` field of each entry is the first member edge.
+[[nodiscard]] std::vector<BufferLifetime> merged_lifetimes(
+    const MergeResult& merged);
+
+}  // namespace sdf

@@ -1,0 +1,150 @@
+#include "pipeline/compile.h"
+
+#include <stdexcept>
+
+#include "alloc/clique.h"
+#include "lifetime/schedule_tree.h"
+#include "sched/apgan.h"
+#include "sched/chain_dp.h"
+#include "sched/bounds.h"
+#include "sched/dppo.h"
+#include "sched/rpmc.h"
+#include "sched/sas.h"
+#include "sched/sdppo.h"
+#include "sched/simulator.h"
+#include "sdf/analysis.h"
+
+namespace sdf {
+namespace {
+
+std::vector<ActorId> choose_order(const Graph& g, const Repetitions& q,
+                                  OrderHeuristic heuristic) {
+  switch (heuristic) {
+    case OrderHeuristic::kApgan:
+      return apgan(g, q).lexorder;
+    case OrderHeuristic::kRpmc:
+      return rpmc(g, q).lexorder;
+    case OrderHeuristic::kRpmcMultistart:
+      return rpmc_multistart(g, q).lexorder;
+    case OrderHeuristic::kTopological: {
+      const auto order = topological_sort(g);
+      if (!order) throw std::invalid_argument("compile: graph is cyclic");
+      return *order;
+    }
+  }
+  throw std::logic_error("compile: unknown order heuristic");
+}
+
+}  // namespace
+
+CompileResult compile_with_order(const Graph& g,
+                                 const std::vector<ActorId>& order,
+                                 const CompileOptions& options) {
+  if (options.blocking_factor < 1) {
+    throw std::invalid_argument("compile: blocking_factor must be >= 1");
+  }
+  CompileResult result;
+  result.q = repetitions_vector(g);
+  for (auto& reps : result.q) reps *= options.blocking_factor;
+  result.lexorder = order;
+
+  switch (options.optimizer) {
+    case LoopOptimizer::kDppo: {
+      DppoResult r = dppo(g, result.q, order);
+      result.schedule = std::move(r.schedule);
+      result.dp_estimate = r.cost;
+      break;
+    }
+    case LoopOptimizer::kSdppo: {
+      SdppoResult r = sdppo(g, result.q, order);
+      result.schedule = std::move(r.schedule);
+      result.dp_estimate = r.estimate;
+      break;
+    }
+    case LoopOptimizer::kChainExact: {
+      if (chain_order(g).has_value()) {
+        ChainDpResult r = chain_sdppo_exact(g, result.q, order);
+        result.schedule = std::move(r.schedule);
+        result.dp_estimate = r.estimate;
+      } else {
+        SdppoResult r = sdppo(g, result.q, order);
+        result.schedule = std::move(r.schedule);
+        result.dp_estimate = r.estimate;
+      }
+      break;
+    }
+    case LoopOptimizer::kFlat: {
+      result.schedule = flat_sas(g, result.q, order);
+      result.dp_estimate = 0;
+      break;
+    }
+  }
+
+  const SimulationResult sim = simulate(g, result.schedule);
+  if (!sim.valid) {
+    throw std::runtime_error("compile: generated schedule is invalid: " +
+                             sim.error);
+  }
+  result.nonshared_bufmem = sim.buffer_memory;
+
+  const ScheduleTree tree(g, result.schedule);
+  result.lifetimes = extract_lifetimes(g, result.q, tree);
+  result.wig = build_intersection_graph(tree, result.lifetimes);
+  result.allocation =
+      first_fit(result.wig, result.lifetimes, options.allocation_order);
+  result.shared_size = result.allocation.total_size;
+  result.mcw_optimistic = mcw_optimistic(result.lifetimes);
+  result.mcw_pessimistic = mcw_pessimistic(result.lifetimes);
+  result.bmlb = bmlb(g);
+  return result;
+}
+
+CompileResult compile(const Graph& g, const CompileOptions& options) {
+  const Repetitions q = repetitions_vector(g);
+  return compile_with_order(g, choose_order(g, q, options.order), options);
+}
+
+Table1Row table1_row(const Graph& g) {
+  Table1Row row;
+  row.system = g.name();
+  row.bmlb = bmlb(g);
+
+  const Repetitions q = repetitions_vector(g);
+  struct Side {
+    std::vector<ActorId> order;
+    std::int64_t* dppo_cell;
+    std::int64_t* sdppo_cell;
+    std::int64_t* mco_cell;
+    std::int64_t* mcp_cell;
+    std::int64_t* ffdur_cell;
+    std::int64_t* ffstart_cell;
+  };
+  const std::vector<ActorId> rpmc_order = rpmc(g, q).lexorder;
+  const std::vector<ActorId> apgan_order = apgan(g, q).lexorder;
+  Side sides[2] = {
+      {rpmc_order, &row.dppo_r, &row.sdppo_r, &row.mco_r, &row.mcp_r,
+       &row.ffdur_r, &row.ffstart_r},
+      {apgan_order, &row.dppo_a, &row.sdppo_a, &row.mco_a, &row.mcp_a,
+       &row.ffdur_a, &row.ffstart_a},
+  };
+
+  for (Side& side : sides) {
+    *side.dppo_cell = dppo(g, q, side.order).cost;
+
+    CompileOptions opts;
+    opts.optimizer = LoopOptimizer::kSdppo;
+    opts.allocation_order = FirstFitOrder::kByDuration;
+    CompileResult shared = compile_with_order(g, side.order, opts);
+    *side.sdppo_cell = shared.dp_estimate;
+    *side.mco_cell = shared.mcw_optimistic;
+    *side.mcp_cell = shared.mcw_pessimistic;
+    *side.ffdur_cell = shared.shared_size;
+    // ffstart reuses the same lifetimes/WIG with a different enumeration.
+    *side.ffstart_cell =
+        first_fit(shared.wig, shared.lifetimes, FirstFitOrder::kByStartTime)
+            .total_size;
+  }
+  return row;
+}
+
+}  // namespace sdf

@@ -1,0 +1,100 @@
+// End-to-end compilation pipeline (paper Fig. 21):
+//   graph -> topological-sort heuristic -> loop-hierarchy DP ->
+//   lifetime extraction -> intersection graph -> first-fit allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "alloc/first_fit.h"
+#include "alloc/intersection_graph.h"
+#include "lifetime/lifetime_extract.h"
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+enum class OrderHeuristic {
+  kApgan,           ///< bottom-up pairwise clustering
+  kRpmc,            ///< recursive min-cut partitioning
+  kRpmcMultistart,  ///< RPMC over several cut balances, best sdppo estimate
+  kTopological,     ///< deterministic Kahn order (baseline)
+};
+
+enum class LoopOptimizer {
+  kDppo,        ///< non-shared metric (EQ 2-4)
+  kSdppo,       ///< shared metric heuristic (EQ 5)
+  kChainExact,  ///< Sec. 6 exact chain DP; falls back to SDPPO off-chain
+  kFlat,        ///< keep the flat SAS (Ritz-style baseline)
+};
+
+struct CompileOptions {
+  OrderHeuristic order = OrderHeuristic::kRpmc;
+  LoopOptimizer optimizer = LoopOptimizer::kSdppo;
+  FirstFitOrder allocation_order = FirstFitOrder::kByDuration;
+  /// Blocking (vectorization) factor J: schedule J minimal periods per
+  /// iteration. Buffers grow ~J; per-firing loop overhead shrinks ~1/J
+  /// (the classic SDF throughput/memory trade).
+  std::int64_t blocking_factor = 1;
+};
+
+struct CompileResult {
+  Repetitions q;
+  std::vector<ActorId> lexorder;
+  Schedule schedule;
+
+  std::int64_t nonshared_bufmem = 0;  ///< EQ 1 cost of `schedule` (simulated)
+  std::int64_t dp_estimate = 0;       ///< the loop optimizer's own cost value
+
+  std::vector<BufferLifetime> lifetimes;
+  IntersectionGraph wig;
+  Allocation allocation;
+  std::int64_t shared_size = 0;  ///< allocation.total_size
+
+  std::int64_t mcw_optimistic = 0;
+  std::int64_t mcw_pessimistic = 0;
+  std::int64_t bmlb = 0;
+};
+
+/// Runs the full pipeline. Requires a consistent, connected-or-not, acyclic
+/// graph; throws std::invalid_argument / std::runtime_error otherwise.
+[[nodiscard]] CompileResult compile(const Graph& g,
+                                    const CompileOptions& options = {});
+
+/// Same, but over a caller-chosen lexical order (must be topological);
+/// used by the random-topological-sort study.
+[[nodiscard]] CompileResult compile_with_order(
+    const Graph& g, const std::vector<ActorId>& order,
+    const CompileOptions& options = {});
+
+/// One row of the paper's Table 1: every column for one system.
+struct Table1Row {
+  std::string system;
+  std::int64_t dppo_r = 0, sdppo_r = 0, mco_r = 0, mcp_r = 0;
+  std::int64_t ffdur_r = 0, ffstart_r = 0;
+  std::int64_t bmlb = 0;
+  std::int64_t dppo_a = 0, sdppo_a = 0, mco_a = 0, mcp_a = 0;
+  std::int64_t ffdur_a = 0, ffstart_a = 0;
+
+  [[nodiscard]] std::int64_t best_nonshared() const {
+    return std::min(dppo_r, dppo_a);
+  }
+  [[nodiscard]] std::int64_t best_shared() const {
+    return std::min(std::min(ffdur_r, ffstart_r),
+                    std::min(ffdur_a, ffstart_a));
+  }
+  /// The paper's "% impr." column.
+  [[nodiscard]] double improvement_percent() const {
+    const auto ns = static_cast<double>(best_nonshared());
+    return ns <= 0 ? 0.0
+                   : 100.0 * (ns - static_cast<double>(best_shared())) / ns;
+  }
+};
+
+/// Evaluates all Table 1 columns for a system.
+[[nodiscard]] Table1Row table1_row(const Graph& g);
+
+}  // namespace sdf

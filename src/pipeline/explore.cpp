@@ -1,0 +1,143 @@
+#include "pipeline/explore.h"
+
+#include <algorithm>
+
+#include "alloc/first_fit.h"
+#include "alloc/intersection_graph.h"
+#include "lifetime/schedule_tree.h"
+#include "merge/buffer_merge.h"
+#include "sched/nappearance.h"
+#include "sched/simulator.h"
+
+namespace sdf {
+namespace {
+
+std::string order_name(OrderHeuristic order) {
+  switch (order) {
+    case OrderHeuristic::kApgan: return "apgan";
+    case OrderHeuristic::kRpmc: return "rpmc";
+    case OrderHeuristic::kRpmcMultistart: return "rpmc*";
+    case OrderHeuristic::kTopological: return "topo";
+  }
+  return "?";
+}
+
+std::string optimizer_name(LoopOptimizer optimizer) {
+  switch (optimizer) {
+    case LoopOptimizer::kDppo: return "dppo";
+    case LoopOptimizer::kSdppo: return "sdppo";
+    case LoopOptimizer::kChainExact: return "chainx";
+    case LoopOptimizer::kFlat: return "flat";
+  }
+  return "?";
+}
+
+/// Shared-memory size of a schedule: lifetimes + best-of-two first-fit
+/// orders, optionally after CBP merging.
+std::int64_t shared_size_of(const Graph& g, const Repetitions& q,
+                            const Schedule& schedule, bool merge) {
+  const ScheduleTree tree(g, schedule);
+  std::vector<BufferLifetime> lifetimes = extract_lifetimes(g, q, tree);
+  IntersectionGraph wig;
+  if (merge) {
+    const MergeResult merged =
+        merge_buffers(g, tree, lifetimes, cbp_all_consuming(g));
+    lifetimes = merged_lifetimes(merged);
+    wig = build_intersection_graph_generic(lifetimes);
+  } else {
+    wig = build_intersection_graph(tree, lifetimes);
+  }
+  return std::min(
+      first_fit(wig, lifetimes, FirstFitOrder::kByDuration).total_size,
+      first_fit(wig, lifetimes, FirstFitOrder::kByStartTime).total_size);
+}
+
+}  // namespace
+
+ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
+  ExploreResult result;
+  CodeSizeModel model = options.model;
+  if (model.actor_size.empty()) model = CodeSizeModel::uniform(g, 10);
+
+  const Repetitions q = repetitions_vector(g);
+  for (const OrderHeuristic order :
+       {OrderHeuristic::kApgan, OrderHeuristic::kRpmc,
+        OrderHeuristic::kRpmcMultistart}) {
+    for (const LoopOptimizer optimizer :
+         {LoopOptimizer::kSdppo, LoopOptimizer::kDppo,
+          LoopOptimizer::kFlat}) {
+      CompileOptions copts;
+      copts.order = order;
+      copts.optimizer = optimizer;
+      const CompileResult base = compile(g, copts);
+
+      for (const std::int64_t budget : options.appearance_budgets) {
+        Schedule schedule = base.schedule;
+        std::string suffix;
+        if (budget > 0) {
+          const NAppearanceResult relaxed =
+              relax_appearances(g, q, base.schedule, budget);
+          if (relaxed.rewrites == 0) continue;  // same point as budget 0
+          schedule = relaxed.schedule;
+          suffix = "+nap" + std::to_string(budget);
+        }
+        // n-appearance schedules are no longer SAS; the lifetime pipeline
+        // requires single appearances, so those points report the
+        // non-shared cost as their memory (the honest implementable
+        // number without per-instance lifetime support).
+        const bool sas = schedule.is_single_appearance(g.num_actors());
+        for (const bool merge : {false, true}) {
+          if (merge && (!options.try_merging || !sas)) continue;
+          DesignPoint point;
+          point.strategy = order_name(order) + "+" +
+                           optimizer_name(optimizer) + suffix +
+                           (merge ? "+merge" : "");
+          point.schedule = schedule;
+          point.code_size = inline_code_size(schedule, model);
+          point.nonshared_memory = simulate(g, schedule).buffer_memory;
+          point.shared_memory =
+              sas ? shared_size_of(g, q, schedule, merge)
+                  : point.nonshared_memory;
+          result.points.push_back(std::move(point));
+          if (!sas) break;  // merge loop meaningless without lifetimes
+        }
+      }
+    }
+  }
+
+  // Pareto: minimize both axes; dedupe identical (code, memory) pairs.
+  for (DesignPoint& p : result.points) {
+    p.pareto = true;
+    for (const DesignPoint& other : result.points) {
+      const bool dominates =
+          (other.code_size <= p.code_size &&
+           other.shared_memory <= p.shared_memory) &&
+          (other.code_size < p.code_size ||
+           other.shared_memory < p.shared_memory);
+      if (dominates) {
+        p.pareto = false;
+        break;
+      }
+    }
+  }
+  for (const DesignPoint& p : result.points) {
+    if (!p.pareto) continue;
+    const bool duplicate =
+        std::any_of(result.frontier.begin(), result.frontier.end(),
+                    [&](const DesignPoint& f) {
+                      return f.code_size == p.code_size &&
+                             f.shared_memory == p.shared_memory;
+                    });
+    if (!duplicate) result.frontier.push_back(p);
+  }
+  std::sort(result.frontier.begin(), result.frontier.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.code_size != b.code_size) {
+                return a.code_size < b.code_size;
+              }
+              return a.shared_memory < b.shared_memory;
+            });
+  return result;
+}
+
+}  // namespace sdf

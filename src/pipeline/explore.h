@@ -1,0 +1,45 @@
+// Design-space exploration: enumerate implementation strategies (ordering
+// heuristic x loop optimizer x n-appearance budget x buffer merging x
+// first-fit order) and report the Pareto frontier over
+// (inline code size, shared memory size) — the two axes the paper's
+// Secs. 3-5 and 11.1.4/11.2 trade against each other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/code_size.h"
+#include "pipeline/compile.h"
+
+namespace sdf {
+
+struct ExploreOptions {
+  /// n-appearance budgets to try on top of each SAS (0 = SAS itself).
+  std::vector<std::int64_t> appearance_budgets{0, 16, 128};
+  /// Also evaluate CBP buffer merging (optimistic all-consuming table).
+  bool try_merging = true;
+  /// Code-size model; empty actor_size => uniform 10-unit blocks.
+  CodeSizeModel model;
+};
+
+struct DesignPoint {
+  std::string strategy;           ///< human-readable recipe
+  std::int64_t code_size = 0;     ///< inline model
+  std::int64_t shared_memory = 0; ///< pool tokens after first-fit
+  std::int64_t nonshared_memory = 0;
+  Schedule schedule;
+  bool pareto = false;  ///< on the (code, memory) frontier
+};
+
+struct ExploreResult {
+  std::vector<DesignPoint> points;   ///< all evaluated points
+  std::vector<DesignPoint> frontier; ///< pareto subset, sorted by code size
+};
+
+/// Evaluates every strategy combination on a consistent acyclic graph.
+[[nodiscard]] ExploreResult explore_designs(const Graph& g,
+                                            const ExploreOptions& options =
+                                                {});
+
+}  // namespace sdf

@@ -1,0 +1,31 @@
+#include "sched/bounds.h"
+
+#include <numeric>
+
+namespace sdf {
+
+std::int64_t bmlb_edge(const Edge& e) {
+  const std::int64_t c = std::gcd(e.prod, e.cns);
+  const std::int64_t eta = (e.prod / c) * e.cns;  // prod*cns/gcd, no overflow
+  return e.delay < eta ? eta + e.delay : e.delay;
+}
+
+std::int64_t bmlb(const Graph& g) {
+  std::int64_t sum = 0;
+  for (const Edge& e : g.edges()) sum += bmlb_edge(e);
+  return sum;
+}
+
+std::int64_t min_buffer_any_schedule_edge(const Edge& e) {
+  const std::int64_t c = std::gcd(e.prod, e.cns);
+  const std::int64_t bound = e.prod + e.cns - c;
+  return e.delay < bound ? bound + (e.delay % c) : e.delay;
+}
+
+std::int64_t min_buffer_any_schedule(const Graph& g) {
+  std::int64_t sum = 0;
+  for (const Edge& e : g.edges()) sum += min_buffer_any_schedule_edge(e);
+  return sum;
+}
+
+}  // namespace sdf

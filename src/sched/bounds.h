@@ -1,0 +1,30 @@
+// Lower bounds on buffering (Sec. 10.1 "bmlb" column, Sec. 11.1.3 formulas).
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+/// Buffer Memory Lower Bound of a single edge over all valid single
+/// appearance schedules [3]: with a = prod, b = cns, c = gcd(a,b), d = delay,
+///   BMLB(e) = ab/c + d   if d < ab/c
+///           = d          otherwise.
+[[nodiscard]] std::int64_t bmlb_edge(const Edge& e);
+
+/// Sum of per-edge BMLBs — the non-shared SAS lower bound for the graph.
+[[nodiscard]] std::int64_t bmlb(const Graph& g);
+
+/// Minimum buffer size on an edge over *all* valid schedules (not just
+/// SASs), Sec. 11.1.3: with c = gcd(a, b),
+///   a + b - c + (d mod c)  if d < a + b - c
+///   d                      otherwise.
+[[nodiscard]] std::int64_t min_buffer_any_schedule_edge(const Edge& e);
+
+/// Sum over all edges of the above (achievable simultaneously on
+/// chain-structured graphs by the greedy data-driven scheduler).
+[[nodiscard]] std::int64_t min_buffer_any_schedule(const Graph& g);
+
+}  // namespace sdf

@@ -1,0 +1,231 @@
+#include "sched/cyclic.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+#include "sched/apgan.h"
+#include "sched/rpmc.h"
+#include "sched/simulator.h"
+#include "sdf/analysis.h"
+
+namespace sdf {
+namespace {
+
+/// Run-length compresses a firing sequence into a Schedule body.
+std::vector<Schedule> compress(const std::vector<ActorId>& seq) {
+  std::vector<Schedule> terms;
+  for (std::size_t i = 0; i < seq.size();) {
+    std::size_t j = i;
+    while (j < seq.size() && seq[j] == seq[i]) ++j;
+    terms.push_back(Schedule::leaf(seq[i],
+                                   static_cast<std::int64_t>(j - i)));
+    i = j;
+  }
+  return terms;
+}
+
+/// Data-driven sequential schedule of one component: fires each member
+/// `counts[a]` times using only intra-component edges and their delays.
+/// Returns nullopt on deadlock.
+std::optional<std::vector<ActorId>> schedule_component(
+    const Graph& g, const std::vector<ActorId>& members,
+    const std::vector<EdgeId>& intra_edges,
+    const std::vector<std::int64_t>& counts) {
+  std::vector<std::int64_t> tokens(g.num_edges(), 0);
+  for (EdgeId e : intra_edges) {
+    tokens[static_cast<std::size_t>(e)] = g.edge(e).delay;
+  }
+  std::vector<std::int64_t> remaining(g.num_actors(), 0);
+  std::int64_t total = 0;
+  for (ActorId a : members) {
+    remaining[static_cast<std::size_t>(a)] =
+        counts[static_cast<std::size_t>(a)];
+    total += counts[static_cast<std::size_t>(a)];
+  }
+  std::vector<bool> intra(g.num_edges(), false);
+  for (EdgeId e : intra_edges) intra[static_cast<std::size_t>(e)] = true;
+
+  auto fireable = [&](ActorId a) {
+    if (remaining[static_cast<std::size_t>(a)] <= 0) return false;
+    for (EdgeId e : g.in_edges(a)) {
+      if (!intra[static_cast<std::size_t>(e)]) continue;
+      if (tokens[static_cast<std::size_t>(e)] < g.edge(e).cns) return false;
+    }
+    return true;
+  };
+
+  std::vector<ActorId> seq;
+  seq.reserve(static_cast<std::size_t>(total));
+  for (std::int64_t fired = 0; fired < total; ++fired) {
+    ActorId pick = kInvalidActor;
+    // Prefer the actor with the largest remaining fraction so mutually
+    // dependent actors advance in lockstep.
+    for (ActorId a : members) {
+      if (!fireable(a)) continue;
+      if (pick == kInvalidActor ||
+          remaining[static_cast<std::size_t>(a)] *
+                  counts[static_cast<std::size_t>(pick)] >
+              remaining[static_cast<std::size_t>(pick)] *
+                  counts[static_cast<std::size_t>(a)]) {
+        pick = a;
+      }
+    }
+    if (pick == kInvalidActor) return std::nullopt;  // deadlock
+    for (EdgeId e : g.in_edges(pick)) {
+      if (intra[static_cast<std::size_t>(e)]) {
+        tokens[static_cast<std::size_t>(e)] -= g.edge(e).cns;
+      }
+    }
+    for (EdgeId e : g.out_edges(pick)) {
+      if (intra[static_cast<std::size_t>(e)]) {
+        tokens[static_cast<std::size_t>(e)] += g.edge(e).prod;
+      }
+    }
+    --remaining[static_cast<std::size_t>(pick)];
+    seq.push_back(pick);
+  }
+  return seq;
+}
+
+}  // namespace
+
+CyclicScheduleResult schedule_cyclic(const Graph& g,
+                                     const CyclicScheduleOptions& options) {
+  if (g.num_actors() == 0) {
+    throw std::invalid_argument("schedule_cyclic: empty graph");
+  }
+  CyclicScheduleResult result;
+  result.q = repetitions_vector(g);
+
+  const std::vector<std::int32_t> comp = strongly_connected_components(g);
+  std::int32_t num_comps = 0;
+  for (std::int32_t c : comp) num_comps = std::max(num_comps, c + 1);
+  result.num_components = num_comps;
+
+  // Members and intra edges per component.
+  std::vector<std::vector<ActorId>> members(
+      static_cast<std::size_t>(num_comps));
+  std::vector<std::vector<EdgeId>> intra(
+      static_cast<std::size_t>(num_comps));
+  for (std::size_t a = 0; a < g.num_actors(); ++a) {
+    members[static_cast<std::size_t>(comp[a])].push_back(
+        static_cast<ActorId>(a));
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    if (comp[static_cast<std::size_t>(edge.src)] ==
+        comp[static_cast<std::size_t>(edge.snk)]) {
+      intra[static_cast<std::size_t>(
+          comp[static_cast<std::size_t>(edge.src)])]
+          .push_back(static_cast<EdgeId>(e));
+    }
+  }
+
+  // Per-component invocation count and internal body.
+  std::vector<std::int64_t> invocations(static_cast<std::size_t>(num_comps));
+  std::vector<std::vector<Schedule>> bodies(
+      static_cast<std::size_t>(num_comps));
+  for (std::int32_t c = 0; c < num_comps; ++c) {
+    const auto ic = static_cast<std::size_t>(c);
+    const bool trivial = members[ic].size() == 1 && intra[ic].empty();
+    if (!trivial) ++result.nontrivial_components;
+
+    std::int64_t gcd = 0;
+    for (ActorId a : members[ic]) {
+      gcd = std::gcd(gcd, result.q[static_cast<std::size_t>(a)]);
+    }
+    std::vector<std::int64_t> per_invocation(g.num_actors(), 0);
+    for (ActorId a : members[ic]) {
+      per_invocation[static_cast<std::size_t>(a)] =
+          result.q[static_cast<std::size_t>(a)] / gcd;
+    }
+    auto seq = schedule_component(g, members[ic], intra[ic], per_invocation);
+    if (seq) {
+      invocations[ic] = gcd;
+    } else if (gcd > 1) {
+      // Tightly interdependent: fall back to one invocation per period.
+      for (ActorId a : members[ic]) {
+        per_invocation[static_cast<std::size_t>(a)] =
+            result.q[static_cast<std::size_t>(a)];
+      }
+      seq = schedule_component(g, members[ic], intra[ic], per_invocation);
+      invocations[ic] = 1;
+    }
+    if (!seq) {
+      throw std::runtime_error(
+          "schedule_cyclic: component containing actor '" +
+          g.actor(members[ic].front()).name +
+          "' deadlocks (insufficient initial tokens)");
+    }
+    bodies[ic] = compress(*seq);
+  }
+
+  // Condensation DAG with rates scaled to cluster invocations.
+  Graph dag("condensation_of_" + g.name());
+  for (std::int32_t c = 0; c < num_comps; ++c) {
+    dag.add_actor("scc" + std::to_string(c));
+  }
+  for (const Edge& e : g.edges()) {
+    const std::int32_t cs = comp[static_cast<std::size_t>(e.src)];
+    const std::int32_t ct = comp[static_cast<std::size_t>(e.snk)];
+    if (cs == ct) continue;
+    // Tokens per cluster invocation.
+    const std::int64_t prod =
+        e.prod * (result.q[static_cast<std::size_t>(e.src)] /
+                  invocations[static_cast<std::size_t>(cs)]);
+    const std::int64_t cns =
+        e.cns * (result.q[static_cast<std::size_t>(e.snk)] /
+                 invocations[static_cast<std::size_t>(ct)]);
+    dag.add_edge(static_cast<ActorId>(cs), static_cast<ActorId>(ct), prod,
+                 cns, e.delay);
+  }
+
+  // Schedule the DAG with the standard acyclic machinery.
+  Repetitions q_dag(static_cast<std::size_t>(num_comps));
+  for (std::int32_t c = 0; c < num_comps; ++c) {
+    q_dag[static_cast<std::size_t>(c)] =
+        invocations[static_cast<std::size_t>(c)];
+  }
+  const Schedule outer = options.use_apgan
+                             ? apgan(dag, q_dag).schedule
+                             : rpmc(dag, q_dag).flat;
+
+  // Expand cluster leaves into their internal bodies.
+  auto expand = [&](auto&& self, const Schedule& node) -> Schedule {
+    if (node.is_leaf()) {
+      const auto c = static_cast<std::size_t>(node.actor());
+      if (bodies[c].size() == 1) {
+        Schedule only = bodies[c].front();
+        if (only.is_leaf()) {
+          return Schedule::leaf(only.actor(), only.count() * node.count());
+        }
+        only.set_count(only.count() * node.count());
+        return only;
+      }
+      return Schedule::loop(node.count(), bodies[c]);
+    }
+    std::vector<Schedule> body;
+    body.reserve(node.body().size());
+    for (const Schedule& child : node.body()) body.push_back(self(self, child));
+    return Schedule::loop(node.count(), std::move(body));
+  };
+  result.schedule = expand(expand, outer).normalized();
+
+  const SimulationResult sim = simulate(g, result.schedule);
+  if (!sim.valid) {
+    // The condensation ordering ignores inter-component delays that might
+    // be REQUIRED for liveness (a delay-broken "cycle" through two
+    // components). Those graphs are cyclic at the component-DAG level,
+    // which the SCC decomposition already ruled out, so this indicates a
+    // genuine deadlock.
+    throw std::runtime_error("schedule_cyclic: " + sim.error);
+  }
+  result.nonshared_bufmem = sim.buffer_memory;
+  result.is_single_appearance =
+      result.schedule.is_single_appearance(g.num_actors());
+  return result;
+}
+
+}  // namespace sdf

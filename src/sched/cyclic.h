@@ -1,0 +1,48 @@
+// Scheduling for general (possibly cyclic) consistent SDF graphs.
+//
+// The paper's pipeline targets acyclic graphs; real systems carry feedback
+// loops broken by initial tokens. Following the loose-interdependence
+// decomposition of [3]: cluster each strongly connected component into a
+// supernode, schedule the resulting DAG with the standard machinery
+// (APGAN/RPMC + DPPO), and expand each supernode into an internal
+// subschedule found by data-driven simulation of the component using only
+// its intra-component edges and initial tokens.
+//
+// Each component ω tries to fire gcd{q(a) : a in ω} times per period with
+// q(a)/gcd internal firings per invocation; if that deadlocks (tight
+// interdependence), it falls back to a single invocation running all q(a)
+// firings. A graph whose components deadlock even then has no valid
+// schedule at all.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+struct CyclicScheduleOptions {
+  /// Use APGAN (true) or RPMC (false) on the component DAG.
+  bool use_apgan = true;
+};
+
+struct CyclicScheduleResult {
+  Schedule schedule;
+  Repetitions q;
+  int num_components = 0;
+  int nontrivial_components = 0;  ///< SCCs with >1 actor or a self-loop
+  /// True when every component was trivial, so the schedule is a plain SAS
+  /// and the shared-memory pipeline applies to it directly.
+  bool is_single_appearance = false;
+  std::int64_t nonshared_bufmem = 0;
+};
+
+/// Schedules a consistent SDF graph that may contain cycles.
+/// Throws std::runtime_error when the graph deadlocks (a component cannot
+/// complete its firings with its initial tokens).
+[[nodiscard]] CyclicScheduleResult schedule_cyclic(
+    const Graph& g, const CyclicScheduleOptions& options = {});
+
+}  // namespace sdf

@@ -1,0 +1,171 @@
+#include "sched/demand_driven.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "sched/bounds.h"
+#include "sdf/analysis.h"
+
+namespace sdf {
+namespace {
+
+/// Longest-path depth of each actor in the SCC condensation: actors deep
+/// in the dataflow get priority so data is consumed as soon as possible.
+std::vector<std::int64_t> sink_priority(const Graph& g) {
+  const auto comp = strongly_connected_components(g);
+  std::int32_t num_comps = 0;
+  for (std::int32_t c : comp) num_comps = std::max(num_comps, c + 1);
+
+  // Condensation edges; Tarjan numbers components in reverse topological
+  // order, so iterating components from high to low index is topological.
+  std::vector<std::vector<std::int32_t>> succs(
+      static_cast<std::size_t>(num_comps));
+  for (const Edge& e : g.edges()) {
+    const std::int32_t cs = comp[static_cast<std::size_t>(e.src)];
+    const std::int32_t ct = comp[static_cast<std::size_t>(e.snk)];
+    if (cs != ct) succs[static_cast<std::size_t>(cs)].push_back(ct);
+  }
+  std::vector<std::int64_t> depth(static_cast<std::size_t>(num_comps), 0);
+  for (std::int32_t c = 0; c < num_comps; ++c) {
+    // successors have smaller component ids (reverse topological order).
+    for (std::int32_t s : succs[static_cast<std::size_t>(c)]) {
+      depth[static_cast<std::size_t>(c)] =
+          std::max(depth[static_cast<std::size_t>(c)],
+                   depth[static_cast<std::size_t>(s)] + 1);
+    }
+  }
+  // Invert: deeper-in-dataflow (closer to sinks) = higher priority.
+  std::vector<std::int64_t> priority(g.num_actors());
+  std::int64_t max_depth = 0;
+  for (std::int64_t d : depth) max_depth = std::max(max_depth, d);
+  for (std::size_t a = 0; a < g.num_actors(); ++a) {
+    priority[a] = max_depth - depth[static_cast<std::size_t>(comp[a])];
+  }
+  return priority;
+}
+
+}  // namespace
+
+DemandDrivenResult demand_driven_schedule(const Graph& g,
+                                          const Repetitions& q) {
+  if (q.size() != g.num_actors()) {
+    throw std::invalid_argument("demand_driven_schedule: bad repetitions");
+  }
+  DemandDrivenResult result;
+  const std::vector<std::int64_t> priority = sink_priority(g);
+
+  std::vector<std::int64_t> tokens(g.num_edges());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    tokens[e] = g.edge(static_cast<EdgeId>(e)).delay;
+  }
+  result.max_tokens = tokens;
+  Repetitions remaining = q;
+  const std::int64_t total =
+      std::accumulate(q.begin(), q.end(), std::int64_t{0});
+  result.firing_seq.reserve(static_cast<std::size_t>(total));
+
+  auto fireable = [&](ActorId a) {
+    if (remaining[static_cast<std::size_t>(a)] <= 0) return false;
+    for (EdgeId e : g.in_edges(a)) {
+      if (tokens[static_cast<std::size_t>(e)] < g.edge(e).cns) return false;
+    }
+    return true;
+  };
+
+  // Bounded-buffer rule: firing an actor must not push any output edge
+  // past its all-schedules lower-bound capacity (prod + cns - gcd, plus
+  // delay adjustment). This keeps every per-edge peak at the Sec. 11.1.3
+  // bound whenever the graph permits it; if every fireable actor would
+  // flood, the least-flooding one fires (progress is always possible for
+  // a consistent live graph).
+  std::vector<std::int64_t> cap(g.num_edges());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    cap[e] = min_buffer_any_schedule_edge(g.edge(static_cast<EdgeId>(e)));
+  }
+  auto flooding = [&](ActorId a) {
+    std::int64_t overflow = 0;
+    for (EdgeId e : g.out_edges(a)) {
+      const std::int64_t after =
+          tokens[static_cast<std::size_t>(e)] + g.edge(e).prod;
+      overflow += std::max<std::int64_t>(
+          0, after - cap[static_cast<std::size_t>(e)]);
+    }
+    return overflow;
+  };
+
+  std::int64_t live = std::accumulate(tokens.begin(), tokens.end(),
+                                      std::int64_t{0});
+  result.max_live_tokens = live;
+
+  for (std::int64_t fired = 0; fired < total; ++fired) {
+    // Pick by: least output flooding, then closeness to sinks, then the
+    // largest remaining work fraction (keeps parallel branches in
+    // lockstep), then actor id.
+    ActorId best = kInvalidActor;
+    std::int64_t best_flood = 0;
+    auto better = [&](ActorId a) {
+      if (best == kInvalidActor) return true;
+      const auto ia = static_cast<std::size_t>(a);
+      const auto ib = static_cast<std::size_t>(best);
+      const std::int64_t flood = flooding(a);
+      if (flood != best_flood) return flood < best_flood;
+      if (priority[ia] != priority[ib]) return priority[ia] > priority[ib];
+      // remaining(a)/q(a) > remaining(best)/q(best), cross-multiplied.
+      const std::int64_t lhs = remaining[ia] * q[ib];
+      const std::int64_t rhs = remaining[ib] * q[ia];
+      if (lhs != rhs) return lhs > rhs;
+      return a < best;
+    };
+    for (std::size_t a = 0; a < g.num_actors(); ++a) {
+      const auto id = static_cast<ActorId>(a);
+      if (!fireable(id)) continue;
+      if (better(id)) {
+        best = id;
+        best_flood = flooding(id);
+      }
+    }
+    if (best == kInvalidActor) {
+      throw std::runtime_error(
+          "demand_driven_schedule: deadlock after " +
+          std::to_string(fired) + " firings");
+    }
+    for (EdgeId e : g.in_edges(best)) {
+      tokens[static_cast<std::size_t>(e)] -= g.edge(e).cns;
+      live -= g.edge(e).cns;
+    }
+    for (EdgeId e : g.out_edges(best)) {
+      auto& t = tokens[static_cast<std::size_t>(e)];
+      t += g.edge(e).prod;
+      live += g.edge(e).prod;
+      auto& peak = result.max_tokens[static_cast<std::size_t>(e)];
+      peak = std::max(peak, t);
+    }
+    result.max_live_tokens = std::max(result.max_live_tokens, live);
+    --remaining[static_cast<std::size_t>(best)];
+    result.firing_seq.push_back(best);
+  }
+
+  result.buffer_memory = std::accumulate(result.max_tokens.begin(),
+                                         result.max_tokens.end(),
+                                         std::int64_t{0});
+
+  // Run-length compress into a Schedule.
+  std::vector<Schedule> terms;
+  for (std::size_t i = 0; i < result.firing_seq.size();) {
+    std::size_t j = i;
+    while (j < result.firing_seq.size() &&
+           result.firing_seq[j] == result.firing_seq[i]) {
+      ++j;
+    }
+    terms.push_back(Schedule::leaf(result.firing_seq[i],
+                                   static_cast<std::int64_t>(j - i)));
+    i = j;
+  }
+  result.schedule = terms.size() == 1 ? std::move(terms.front())
+                                      : Schedule::sequence(std::move(terms));
+  return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,44 @@
+// Greedy data-driven (demand-driven) scheduling (Sec. 11.1.3).
+//
+// Fires a sink actor in preference to the source actor of an edge whenever
+// both are fireable, which keeps per-edge buffering at the
+// all-schedules lower bound a + b - gcd(a,b) (+ delay adjustment) on
+// chain-structured graphs, below any SAS. The price is a schedule of up to
+// sum(q) firings with no looping structure — the paper's model for what a
+// dynamic (EDF-style) scheduler achieves at runtime.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+struct DemandDrivenResult {
+  /// The explicit firing sequence of one period (sum(q) firings).
+  std::vector<ActorId> firing_seq;
+  /// Same sequence wrapped as a Schedule (leaf per firing, run-length
+  /// compressed for consecutive firings of one actor).
+  Schedule schedule;
+  /// Peak token count per edge during the period (the dynamic scheduler's
+  /// buffer requirement under the non-shared metric).
+  std::vector<std::int64_t> max_tokens;
+  /// Sum of max_tokens.
+  std::int64_t buffer_memory = 0;
+  /// Peak of the total number of live tokens at any instant — the shared
+  /// ("pooled") requirement a dynamic scheduler could reach with a
+  /// fine-grained allocator (paper's EDF shared estimate analogue).
+  std::int64_t max_live_tokens = 0;
+};
+
+/// Runs the greedy demand-driven scheduler for one period. At each step it
+/// fires, among all fireable actors, one whose topological depth is
+/// largest (deepest sinks first); ties break on smaller actor id.
+/// Throws std::runtime_error when the graph deadlocks (inconsistent or
+/// insufficient delays on cycles).
+[[nodiscard]] DemandDrivenResult demand_driven_schedule(const Graph& g,
+                                                        const Repetitions& q);
+
+}  // namespace sdf

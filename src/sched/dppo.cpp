@@ -1,0 +1,127 @@
+#include "sched/dppo.h"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "sdf/analysis.h"
+
+namespace sdf {
+namespace {
+
+// prefix[a][b] = sum of weight(e) over edges with pos(src) <= a-1 and
+// pos(snk) <= b-1 (1-based guards simplify the rectangle query).
+template <typename WeightFn>
+std::vector<std::vector<std::int64_t>> build_prefix(
+    const Graph& g, const std::vector<ActorId>& order, WeightFn&& weight) {
+  const std::size_t n = order.size();
+  std::vector<std::int32_t> pos(g.num_actors(), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::vector<std::int64_t>> prefix(
+      n + 1, std::vector<std::int64_t>(n + 1, 0));
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    const std::int32_t ps = pos[static_cast<std::size_t>(edge.src)];
+    const std::int32_t pt = pos[static_cast<std::size_t>(edge.snk)];
+    prefix[static_cast<std::size_t>(ps) + 1][static_cast<std::size_t>(pt) +
+                                             1] +=
+        weight(static_cast<EdgeId>(e));
+  }
+  for (std::size_t a = 1; a <= n; ++a) {
+    for (std::size_t b = 1; b <= n; ++b) {
+      prefix[a][b] += prefix[a - 1][b] + prefix[a][b - 1] -
+                      prefix[a - 1][b - 1];
+    }
+  }
+  return prefix;
+}
+
+// Rectangle sum over pos(src) in [i, k], pos(snk) in [k+1, j].
+std::int64_t rect(const std::vector<std::vector<std::int64_t>>& prefix,
+                  std::size_t i, std::size_t k, std::size_t j) {
+  const std::size_t lo_s = i, hi_s = k + 1;     // rows i..k -> [i+1, k+1]
+  const std::size_t lo_t = k + 1, hi_t = j + 1;  // cols k+1..j -> [k+2, j+1]
+  return prefix[hi_s][hi_t] - prefix[lo_s][hi_t] - prefix[hi_s][lo_t] +
+         prefix[lo_s][lo_t];
+}
+
+}  // namespace
+
+SplitCosts::SplitCosts(const Graph& g, const Repetitions& q,
+                       const std::vector<ActorId>& order)
+    : n_(order.size()) {
+  tnse_prefix_ = build_prefix(g, order, [&](EdgeId e) {
+    return tnse(g, q, e);
+  });
+  delay_prefix_ = build_prefix(g, order, [&](EdgeId e) {
+    return g.edge(e).delay;
+  });
+  count_prefix_ = build_prefix(g, order, [](EdgeId) { return 1; });
+
+  gcd_.assign(n_, std::vector<std::int64_t>(n_, 0));
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t j = i; j < n_; ++j) {
+      acc = std::gcd(acc, q[static_cast<std::size_t>(order[j])]);
+      gcd_[i][j] = acc;
+    }
+  }
+}
+
+std::int64_t SplitCosts::tnse_sum(std::size_t i, std::size_t k,
+                                  std::size_t j) const {
+  return rect(tnse_prefix_, i, k, j);
+}
+
+std::int64_t SplitCosts::delay_sum(std::size_t i, std::size_t k,
+                                   std::size_t j) const {
+  return rect(delay_prefix_, i, k, j);
+}
+
+std::int64_t SplitCosts::edge_count(std::size_t i, std::size_t k,
+                                    std::size_t j) const {
+  return rect(count_prefix_, i, k, j);
+}
+
+DppoResult dppo(const Graph& g, const Repetitions& q,
+                const std::vector<ActorId>& order) {
+  if (!is_topological_order(g, order)) {
+    throw std::invalid_argument("dppo: order is not a topological order");
+  }
+  const std::size_t n = order.size();
+  const SplitCosts costs(g, q, order);
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::vector<std::vector<std::int64_t>> b(n,
+                                           std::vector<std::int64_t>(n, 0));
+  SplitTable splits;
+  splits.at.assign(n, std::vector<std::size_t>(n, 0));
+
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len - 1;
+      std::int64_t best = kInf;
+      std::size_t best_k = i;
+      for (std::size_t k = i; k < j; ++k) {
+        const std::int64_t total =
+            b[i][k] + b[k + 1][j] + costs.cost(i, k, j);
+        if (total < best) {
+          best = total;
+          best_k = k;
+        }
+      }
+      b[i][j] = best;
+      splits.at[i][j] = best_k;
+    }
+  }
+
+  DppoResult result;
+  result.cost = n >= 2 ? b[0][n - 1] : 0;
+  result.splits = splits;
+  result.schedule = schedule_from_splits(g, q, order, splits);
+  return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,74 @@
+// Dynamic Programming Post Optimization under the non-shared buffer model
+// (Sec. 4, EQ 2-4; [3][19]).
+//
+// Given a lexical order (A_1..A_n), computes the order-optimal loop
+// hierarchy: minimize the sum over edges of max_tokens under the "one
+// buffer per edge" metric. O(n^2) table, O(n^3) time, O(1) split cost via
+// 2D prefix sums over edge weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/sas.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+/// Result of a DPPO run.
+struct DppoResult {
+  std::int64_t cost = 0;      ///< bufmem (EQ 1) of the order-optimal SAS
+  Schedule schedule;          ///< the optimized R-schedule (normalized)
+  SplitTable splits;          ///< parenthesization used
+};
+
+/// Runs DPPO over the given lexical order. `order` must be a topological
+/// order of `g` (delayless acyclic theory; edges with delays contribute
+/// `delay` extra locations to every split they cross).
+/// Throws std::invalid_argument when `order` is not topological.
+[[nodiscard]] DppoResult dppo(const Graph& g, const Repetitions& q,
+                              const std::vector<ActorId>& order);
+
+/// Precomputed split-cost oracle shared by DPPO and SDPPO:
+/// cost(i,k,j) = sum over edges src in order[i..k], snk in order[k+1..j]
+/// of TNSE(e)/g_ij + delay(e), plus range-gcd and emptiness queries.
+class SplitCosts {
+ public:
+  SplitCosts(const Graph& g, const Repetitions& q,
+             const std::vector<ActorId>& order);
+
+  /// gcd of q over order[i..j].
+  [[nodiscard]] std::int64_t gij(std::size_t i, std::size_t j) const {
+    return gcd_[i][j];
+  }
+
+  /// Sum of TNSE over split-crossing edges (NOT divided by the gcd).
+  [[nodiscard]] std::int64_t tnse_sum(std::size_t i, std::size_t k,
+                                      std::size_t j) const;
+  /// Sum of delays over split-crossing edges.
+  [[nodiscard]] std::int64_t delay_sum(std::size_t i, std::size_t k,
+                                       std::size_t j) const;
+  /// Number of split-crossing edges (E_s of EQ 4); 0 means "no internal
+  /// edges" for the Sec. 5.1 factoring heuristic.
+  [[nodiscard]] std::int64_t edge_count(std::size_t i, std::size_t k,
+                                        std::size_t j) const;
+
+  /// Full split cost c_ij[k] (EQ 3 plus delay carry).
+  [[nodiscard]] std::int64_t cost(std::size_t i, std::size_t k,
+                                  std::size_t j) const {
+    return tnse_sum(i, k, j) / gij(i, j) + delay_sum(i, k, j);
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  // prefix[a][b] = sum over edges with pos(src) < a and pos(snk) < b.
+  std::vector<std::vector<std::int64_t>> tnse_prefix_;
+  std::vector<std::vector<std::int64_t>> delay_prefix_;
+  std::vector<std::vector<std::int64_t>> count_prefix_;
+  std::vector<std::vector<std::int64_t>> gcd_;
+};
+
+}  // namespace sdf

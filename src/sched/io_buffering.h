@@ -1,0 +1,49 @@
+// Real-time interface buffering analysis (Sec. 11.1.3).
+//
+// A DSP graph's source actor consumes samples that arrive from the outside
+// world at a fixed rate; the samples that arrive while the schedule is busy
+// elsewhere must be buffered at the interface. A flat SAS fires the source
+// in one burst per period, so nearly a full period of samples backs up; a
+// nested SAS spreads the source firings out and needs far less (the
+// paper's CD-DAT example: ~11 tokens nested vs 65 flat over a 147-sample
+// period). This module computes the exact worst-case backlog given per-
+// actor execution times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+/// Per-actor execution time in arbitrary integer time units (cycles).
+using ExecutionTimes = std::vector<std::int64_t>;
+
+struct InterfaceBufferingResult {
+  /// Max samples queued at the graph input just before a source firing.
+  std::int64_t input_backlog = 0;
+  /// Max samples queued at the graph output waiting for the fixed-rate
+  /// consumer.
+  std::int64_t output_backlog = 0;
+  /// Total schedule execution time per period (cycles).
+  std::int64_t period_cycles = 0;
+  /// Samples per period at the input (q(src) * samples_per_firing).
+  std::int64_t input_samples_per_period = 0;
+};
+
+/// Analyzes one steady-state period of `schedule`. The input stream
+/// delivers `input_samples_per_period` samples uniformly over the period;
+/// each firing of `source` consumes `samples_per_firing` of them (so
+/// q(source) * samples_per_firing must equal input_samples_per_period,
+/// which the function derives itself). Output is symmetric for `sink`.
+/// Pass kInvalidActor for source or sink to skip that side.
+/// Throws std::invalid_argument on malformed inputs.
+[[nodiscard]] InterfaceBufferingResult interface_buffering(
+    const Graph& g, const Repetitions& q, const Schedule& schedule,
+    const ExecutionTimes& exec, ActorId source, ActorId sink,
+    std::int64_t samples_per_firing = 1);
+
+}  // namespace sdf

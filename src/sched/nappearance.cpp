@@ -1,0 +1,285 @@
+#include "sched/nappearance.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/simulator.h"
+
+namespace sdf {
+namespace {
+
+/// Actors appearing in a subtree.
+void collect_actors(const Schedule& s, std::vector<bool>& present) {
+  if (s.is_leaf()) {
+    present[static_cast<std::size_t>(s.actor())] = true;
+    return;
+  }
+  for (const Schedule& child : s.body()) collect_actors(child, present);
+}
+
+/// One "unit" of a child subtree: a single iteration of its own top loop.
+/// For a leaf (c X), the unit is one firing of X and the unit count is c.
+struct Unit {
+  Schedule body;           // schedule for one unit
+  std::int64_t count = 0;  // units per parent-body execution
+  std::int64_t leaves = 0;
+};
+
+Unit unit_of(const Schedule& child) {
+  Unit u;
+  if (child.is_leaf()) {
+    u.body = Schedule::leaf(child.actor(), 1);
+    u.count = child.count();
+  } else {
+    u.body = Schedule::sequence(child.body());
+    u.count = child.count();
+  }
+  u.leaves = u.body.num_leaves();
+  return u;
+}
+
+struct CrossEdge {
+  EdgeId edge;
+  std::int64_t per_left_unit = 0;   // tokens produced per left unit
+  std::int64_t per_right_unit = 0;  // tokens consumed per right unit
+};
+
+/// Greedy minimal-buffer interleaving of left/right units. Fires a right
+/// unit whenever every crossing edge has enough tokens; otherwise a left
+/// unit.
+struct Interleaving {
+  std::vector<std::pair<bool, std::int64_t>> runs;  // (is_right, length)
+  std::int64_t peak_sum = 0;
+  bool feasible = false;
+};
+
+Interleaving interleave_units(const Graph& g,
+                              const std::vector<CrossEdge>& edges,
+                              std::int64_t left_units,
+                              std::int64_t right_units) {
+  Interleaving out;
+  std::vector<std::int64_t> tokens(edges.size());
+  std::vector<std::int64_t> peak(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    tokens[i] = g.edge(edges[i].edge).delay;
+    peak[i] = tokens[i];
+  }
+  std::int64_t lu = left_units, ru = right_units;
+  std::vector<bool> seq;
+  seq.reserve(static_cast<std::size_t>(lu + ru));
+  while (lu > 0 || ru > 0) {
+    bool right_ready = ru > 0;
+    for (std::size_t i = 0; right_ready && i < edges.size(); ++i) {
+      if (tokens[i] < edges[i].per_right_unit) right_ready = false;
+    }
+    if (right_ready) {
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        tokens[i] -= edges[i].per_right_unit;
+      }
+      --ru;
+      seq.push_back(true);
+    } else if (lu > 0) {
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        tokens[i] += edges[i].per_left_unit;
+        peak[i] = std::max(peak[i], tokens[i]);
+      }
+      --lu;
+      seq.push_back(false);
+    } else {
+      return out;  // right side starved: counts infeasible
+    }
+  }
+  for (std::int64_t p : peak) out.peak_sum += p;
+  for (std::size_t i = 0; i < seq.size();) {
+    std::size_t j = i;
+    while (j < seq.size() && seq[j] == seq[i]) ++j;
+    out.runs.emplace_back(seq[i], static_cast<std::int64_t>(j - i));
+    i = j;
+  }
+  out.feasible = true;
+  return out;
+}
+
+/// A candidate rewrite of adjacent children (pair_index, pair_index+1)
+/// of the body of the node with preorder id node_id.
+struct Candidate {
+  int node_id = 0;
+  std::size_t pair_index = 0;
+  int range_begin = 0;  // preorder range covered by the two children
+  int range_end = 0;
+  std::int64_t saving = 0;
+  std::int64_t extra_appearances = 0;
+  std::vector<Schedule> replacement;  // replaces the two children
+};
+
+std::vector<Schedule> build_replacement(const Unit& left, const Unit& right,
+                                        const Interleaving& inter) {
+  std::vector<Schedule> body;
+  body.reserve(inter.runs.size());
+  for (const auto& [is_right, length] : inter.runs) {
+    const Unit& u = is_right ? right : left;
+    Schedule run = u.body;
+    if (run.is_leaf()) {
+      run = Schedule::leaf(run.actor(), run.count() * length);
+    } else {
+      run.set_count(run.count() * length);
+    }
+    body.push_back(std::move(run));
+  }
+  return body;
+}
+
+}  // namespace
+
+NAppearanceResult relax_appearances(const Graph& g, const Repetitions& q,
+                                    const Schedule& sas,
+                                    std::int64_t extra_appearance_budget) {
+  if (!is_valid_schedule(g, q, sas)) {
+    throw std::invalid_argument("relax_appearances: input SAS is invalid");
+  }
+
+  // Pass 1: enumerate rewrite candidates over every adjacent child pair of
+  // every body (interleaving two adjacent siblings leaves the rest of the
+  // body untouched, so the transformation is local).
+  std::vector<Candidate> candidates;
+  int counter = 0;
+  auto scan = [&](auto&& self, const Schedule& node) -> void {
+    const int id = counter++;
+    if (node.is_leaf()) return;
+    std::vector<int> child_begin;
+    std::vector<int> child_end;
+    for (const Schedule& child : node.body()) {
+      child_begin.push_back(counter);
+      self(self, child);
+      child_end.push_back(counter);
+    }
+    for (std::size_t p = 0; p + 1 < node.body().size(); ++p) {
+      const Schedule& lchild = node.body()[p];
+      const Schedule& rchild = node.body()[p + 1];
+      std::vector<bool> in_left(g.num_actors(), false);
+      std::vector<bool> in_right(g.num_actors(), false);
+      collect_actors(lchild, in_left);
+      collect_actors(rchild, in_right);
+
+      const Unit left = unit_of(lchild);
+      const Unit right = unit_of(rchild);
+      if (left.count <= 1 && right.count <= 1) continue;
+
+      std::vector<CrossEdge> crossing;
+      bool feedback = false;
+      for (std::size_t e = 0; e < g.num_edges(); ++e) {
+        const Edge& edge = g.edge(static_cast<EdgeId>(e));
+        const bool lr = in_left[static_cast<std::size_t>(edge.src)] &&
+                        in_right[static_cast<std::size_t>(edge.snk)];
+        const bool rl = in_right[static_cast<std::size_t>(edge.src)] &&
+                        in_left[static_cast<std::size_t>(edge.snk)];
+        if (rl) {
+          feedback = true;
+          break;
+        }
+        if (!lr) continue;
+        CrossEdge ce;
+        ce.edge = static_cast<EdgeId>(e);
+        ce.per_left_unit = left.body.firings(edge.src) * edge.prod;
+        ce.per_right_unit = right.body.firings(edge.snk) * edge.cns;
+        crossing.push_back(ce);
+      }
+      if (feedback || crossing.empty()) continue;
+
+      const Interleaving inter =
+          interleave_units(g, crossing, left.count, right.count);
+      if (!inter.feasible || inter.runs.size() <= 2) continue;
+
+      std::int64_t current = 0;
+      for (const CrossEdge& ce : crossing) {
+        current += g.edge(ce.edge).delay + left.count * ce.per_left_unit;
+      }
+      const std::int64_t saving = current - inter.peak_sum;
+      if (saving <= 0) continue;
+
+      std::int64_t runs_left = 0, runs_right = 0;
+      for (const auto& [is_right, len] : inter.runs) {
+        (is_right ? runs_right : runs_left) += 1;
+        (void)len;
+      }
+      Candidate c;
+      c.node_id = id;
+      c.pair_index = p;
+      c.range_begin = child_begin[p];
+      c.range_end = child_end[p + 1];
+      c.saving = saving;
+      c.extra_appearances =
+          (runs_left - 1) * left.leaves + (runs_right - 1) * right.leaves;
+      c.replacement = build_replacement(left, right, inter);
+      candidates.push_back(std::move(c));
+    }
+  };
+  scan(scan, sas);
+
+  // Greedy selection: biggest saving first, ranges kept disjoint (a
+  // rewrite replaces both children's subtrees; overlapping pairs share a
+  // child).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.saving != b.saving) return a.saving > b.saving;
+              return a.extra_appearances < b.extra_appearances;
+            });
+  std::vector<const Candidate*> chosen;
+  std::int64_t budget = extra_appearance_budget;
+  for (const Candidate& c : candidates) {
+    if (c.extra_appearances > budget) continue;
+    bool overlaps = false;
+    for (const Candidate* other : chosen) {
+      if (!(c.range_end <= other->range_begin ||
+            other->range_end <= c.range_begin)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    chosen.push_back(&c);
+    budget -= c.extra_appearances;
+  }
+
+  // Pass 2: rebuild. chosen_at[node][pair] -> candidate.
+  std::map<std::pair<int, std::size_t>, const Candidate*> chosen_at;
+  for (const Candidate* c : chosen) {
+    chosen_at[{c->node_id, c->pair_index}] = c;
+  }
+  counter = 0;
+  auto rebuild = [&](auto&& self, const Schedule& node) -> Schedule {
+    const int id = counter++;
+    if (node.is_leaf()) return node;
+    std::vector<Schedule> body;
+    const auto& children = node.body();
+    for (std::size_t p = 0; p < children.size(); ++p) {
+      const auto hit = chosen_at.find({id, p});
+      if (hit != chosen_at.end()) {
+        // Consume the two children's preorder ids and splice the runs.
+        counter = hit->second->range_end;
+        for (const Schedule& run : hit->second->replacement) {
+          body.push_back(run);
+        }
+        ++p;  // the pair partner is consumed too
+      } else {
+        body.push_back(self(self, children[p]));
+      }
+    }
+    return Schedule::loop(node.count(), std::move(body));
+  };
+  NAppearanceResult result;
+  result.schedule = rebuild(rebuild, sas).normalized();
+  result.rewrites = static_cast<int>(chosen.size());
+
+  const SimulationResult sim = simulate(g, result.schedule);
+  if (!sim.valid) {
+    throw std::logic_error("relax_appearances: rewrite broke the schedule");
+  }
+  result.buffer_memory = sim.buffer_memory;
+  result.appearances = result.schedule.num_leaves();
+  return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,38 @@
+// n-appearance schedule relaxation (Sec. 11.1.4, after Sung et al. [25]).
+//
+// A single appearance schedule is code-size optimal but buffer-hungry: an
+// inner loop (n (cu U)(cv V)) keeps cu*prod(U) tokens on (U,V), while an
+// interleaved firing pattern needs only about prod+cns-gcd. Allowing U and
+// V extra appearances (more code blocks) buys buffer memory back. This
+// module rewrites selected innermost two-actor loops of an SAS into their
+// greedy minimal-buffer interleavings, under an appearance budget,
+// trading code size for buffer memory systematically.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+struct NAppearanceResult {
+  Schedule schedule;
+  /// Non-shared buffer memory (EQ 1) of the relaxed schedule.
+  std::int64_t buffer_memory = 0;
+  /// Total actor appearances (= code blocks under inline synthesis).
+  std::int64_t appearances = 0;
+  /// Number of loop rewrites applied.
+  int rewrites = 0;
+};
+
+/// Rewrites up to `extra_appearance_budget` additional appearances into
+/// `sas` (which must be a valid SAS for g,q), greedily taking the rewrite
+/// with the largest buffer saving first. A budget of 0 returns the input
+/// schedule unchanged.
+[[nodiscard]] NAppearanceResult relax_appearances(
+    const Graph& g, const Repetitions& q, const Schedule& sas,
+    std::int64_t extra_appearance_budget);
+
+}  // namespace sdf

@@ -1,0 +1,275 @@
+#include "sched/rpmc.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "sched/sas.h"
+#include "sched/sdppo.h"
+#include "sdf/analysis.h"
+
+namespace sdf {
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Recursion state over subsets of the original graph.
+struct Partitioner {
+  const Graph& g;
+  const Repetitions& q;
+  const RpmcOptions& options;
+  std::vector<std::int64_t> edge_tnse;  // per EdgeId
+
+  /// In/out of the current subset; reused across recursion levels by
+  /// stamping.
+  std::vector<std::int32_t> stamp;
+  std::int32_t current_stamp = 0;
+
+  explicit Partitioner(const Graph& graph, const Repetitions& reps,
+                       const RpmcOptions& opts)
+      : g(graph), q(reps), options(opts), stamp(graph.num_actors(), -1) {
+    edge_tnse.reserve(g.num_edges());
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      edge_tnse.push_back(tnse(g, q, static_cast<EdgeId>(e)));
+    }
+  }
+
+  /// Topological order of the subgraph induced by `members` (deterministic).
+  std::vector<ActorId> topo(const std::vector<ActorId>& members) {
+    ++current_stamp;
+    for (ActorId a : members) stamp[static_cast<std::size_t>(a)] =
+        current_stamp;
+    std::vector<std::size_t> deg(g.num_actors(), 0);
+    for (ActorId a : members) {
+      for (EdgeId e : g.in_edges(a)) {
+        if (in_subset(g.edge(e).src)) ++deg[static_cast<std::size_t>(a)];
+      }
+    }
+    std::priority_queue<ActorId, std::vector<ActorId>, std::greater<>> ready;
+    for (ActorId a : members) {
+      if (deg[static_cast<std::size_t>(a)] == 0) ready.push(a);
+    }
+    std::vector<ActorId> order;
+    order.reserve(members.size());
+    while (!ready.empty()) {
+      const ActorId a = ready.top();
+      ready.pop();
+      order.push_back(a);
+      for (EdgeId e : g.out_edges(a)) {
+        const ActorId s = g.edge(e).snk;
+        if (in_subset(s) && --deg[static_cast<std::size_t>(s)] == 0) {
+          ready.push(s);
+        }
+      }
+    }
+    if (order.size() != members.size()) {
+      throw std::invalid_argument("rpmc: graph must be acyclic");
+    }
+    return order;
+  }
+
+  [[nodiscard]] bool in_subset(ActorId a) const {
+    return stamp[static_cast<std::size_t>(a)] == current_stamp;
+  }
+
+  /// Crossing TNSE of partition (L = in_left true) within `members`.
+  std::int64_t cut_cost(const std::vector<ActorId>& members,
+                        const std::vector<bool>& in_left) {
+    std::int64_t cost = 0;
+    for (ActorId a : members) {
+      if (!in_left[static_cast<std::size_t>(a)]) continue;
+      for (EdgeId e : g.out_edges(a)) {
+        const ActorId s = g.edge(e).snk;
+        if (in_subset(s) && !in_left[static_cast<std::size_t>(s)]) {
+          cost += edge_tnse[static_cast<std::size_t>(e)];
+        }
+      }
+    }
+    return cost;
+  }
+
+  /// Appends a min-cut recursive ordering of `members` onto `out`.
+  void solve(std::vector<ActorId> members, std::vector<ActorId>& out) {
+    if (members.size() <= 1) {
+      out.insert(out.end(), members.begin(), members.end());
+      return;
+    }
+    const std::vector<ActorId> order = topo(members);
+    const std::size_t m = order.size();
+
+    // Cumulative crossing cost for prefix cuts: sweep the topological
+    // order; when actor at position p moves left, edges into it stop
+    // crossing and edges out of it start crossing.
+    std::vector<std::int64_t> prefix_cost(m, 0);
+    {
+      ++current_stamp;  // re-stamp members for in_subset
+      for (ActorId a : members) stamp[static_cast<std::size_t>(a)] =
+          current_stamp;
+      std::vector<bool> left(g.num_actors(), false);
+      std::int64_t cost = 0;
+      for (std::size_t p = 0; p < m; ++p) {
+        const ActorId a = order[p];
+        for (EdgeId e : g.in_edges(a)) {
+          const ActorId src = g.edge(e).src;
+          if (in_subset(src) && left[static_cast<std::size_t>(src)]) {
+            cost -= edge_tnse[static_cast<std::size_t>(e)];
+          }
+        }
+        for (EdgeId e : g.out_edges(a)) {
+          if (in_subset(g.edge(e).snk)) {
+            cost += edge_tnse[static_cast<std::size_t>(e)];
+          }
+        }
+        left[static_cast<std::size_t>(a)] = true;
+        prefix_cost[p] = cost;  // cut after position p
+      }
+    }
+
+    // Size bounds (relaxed when the subproblem is too small to honor them).
+    const std::size_t min_side =
+        std::max<std::size_t>(1, m / static_cast<std::size_t>(std::max(
+                                       2, options.balance_denominator)));
+    std::size_t best_p = m;  // cut after order[best_p]
+    std::int64_t best_cost = kInf;
+    auto consider = [&](std::size_t p, std::int64_t cost) {
+      const std::size_t left_size = p + 1;
+      if (left_size < min_side || m - left_size < min_side) return;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_p = p;
+      }
+    };
+    for (std::size_t p = 0; p + 1 < m; ++p) consider(p, prefix_cost[p]);
+    if (best_p == m) {
+      // Bounds unreachable (tiny m); fall back to the cheapest prefix cut.
+      for (std::size_t p = 0; p + 1 < m; ++p) {
+        if (prefix_cost[p] < best_cost) {
+          best_cost = prefix_cost[p];
+          best_p = p;
+        }
+      }
+    }
+
+    // Greedy legality-preserving refinement.
+    std::vector<bool> in_left(g.num_actors(), false);
+    for (std::size_t p = 0; p <= best_p; ++p) {
+      in_left[static_cast<std::size_t>(order[p])] = true;
+    }
+    std::size_t left_size = best_p + 1;
+    std::int64_t cost = best_cost;
+    for (int pass = 0; pass < options.refine_passes; ++pass) {
+      bool improved = false;
+      for (ActorId a : order) {
+        const auto ia = static_cast<std::size_t>(a);
+        if (in_left[ia]) {
+          // L -> R legal iff every in-subset successor is in R.
+          if (left_size <= min_side) continue;
+          bool legal = true;
+          std::int64_t delta = 0;
+          for (EdgeId e : g.out_edges(a)) {
+            const ActorId s = g.edge(e).snk;
+            if (!in_subset(s)) continue;
+            if (in_left[static_cast<std::size_t>(s)]) {
+              legal = false;
+              break;
+            }
+            delta -= edge_tnse[static_cast<std::size_t>(e)];  // stops crossing
+          }
+          if (!legal) continue;
+          for (EdgeId e : g.in_edges(a)) {
+            const ActorId src = g.edge(e).src;
+            if (in_subset(src) && in_left[static_cast<std::size_t>(src)]) {
+              delta += edge_tnse[static_cast<std::size_t>(e)];  // now crosses
+            }
+          }
+          if (delta < 0) {
+            in_left[ia] = false;
+            --left_size;
+            cost += delta;
+            improved = true;
+          }
+        } else {
+          // R -> L legal iff every in-subset predecessor is in L.
+          if (m - left_size <= min_side) continue;
+          bool legal = true;
+          std::int64_t delta = 0;
+          for (EdgeId e : g.in_edges(a)) {
+            const ActorId src = g.edge(e).src;
+            if (!in_subset(src)) continue;
+            if (!in_left[static_cast<std::size_t>(src)]) {
+              legal = false;
+              break;
+            }
+            delta -= edge_tnse[static_cast<std::size_t>(e)];
+          }
+          if (!legal) continue;
+          for (EdgeId e : g.out_edges(a)) {
+            const ActorId s = g.edge(e).snk;
+            if (in_subset(s) && !in_left[static_cast<std::size_t>(s)]) {
+              delta += edge_tnse[static_cast<std::size_t>(e)];
+            }
+          }
+          if (delta < 0) {
+            in_left[ia] = true;
+            ++left_size;
+            cost += delta;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+
+    std::vector<ActorId> left_members, right_members;
+    left_members.reserve(left_size);
+    right_members.reserve(m - left_size);
+    for (ActorId a : order) {
+      (in_left[static_cast<std::size_t>(a)] ? left_members : right_members)
+          .push_back(a);
+    }
+    solve(std::move(left_members), out);
+    solve(std::move(right_members), out);
+  }
+};
+
+}  // namespace
+
+RpmcResult rpmc(const Graph& g, const Repetitions& q,
+                const RpmcOptions& options) {
+  if (g.num_actors() == 0) {
+    throw std::invalid_argument("rpmc: empty graph");
+  }
+  Partitioner part(g, q, options);
+  std::vector<ActorId> all(g.num_actors());
+  for (std::size_t a = 0; a < g.num_actors(); ++a) {
+    all[a] = static_cast<ActorId>(a);
+  }
+  RpmcResult result;
+  part.solve(std::move(all), result.lexorder);
+  result.flat = flat_sas(g, q, result.lexorder);
+  return result;
+}
+
+RpmcResult rpmc_multistart(const Graph& g, const Repetitions& q,
+                           const std::vector<int>& denominators) {
+  if (denominators.empty()) {
+    throw std::invalid_argument("rpmc_multistart: no denominators");
+  }
+  RpmcResult best;
+  std::int64_t best_estimate = kInf;
+  for (const int denominator : denominators) {
+    RpmcOptions options;
+    options.balance_denominator = denominator;
+    RpmcResult candidate = rpmc(g, q, options);
+    const std::int64_t estimate =
+        g.num_actors() >= 2 ? sdppo(g, q, candidate.lexorder).estimate : 0;
+    if (estimate < best_estimate) {
+      best_estimate = estimate;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace sdf

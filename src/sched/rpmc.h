@@ -1,0 +1,50 @@
+// RPMC — Recursive Partitioning by Minimum Cuts (Sec. 7, [3]).
+//
+// Top-down: find a *legal* cut of the DAG (every edge crosses left->right,
+// i.e. the left side is closed under predecessors) minimizing the total
+// TNSE of crossing edges, with both sides size-bounded so the recursion
+// balances; recurse into each side. The resulting left-to-right actor order
+// is a topological sort handed to DPPO/SDPPO.
+//
+// Cut search: candidate prefix cuts of a topological order, refined by
+// greedy legality-preserving moves (a Kernighan-Lin-style pass), matching
+// the heuristic character described in [3].
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+struct RpmcOptions {
+  /// Both sides of every cut must hold at least ceil(size/denominator)
+  /// actors (paper uses bounded sets to balance the recursion). 3 means
+  /// each side keeps >= 1/3 of the nodes. Ignored for tiny subproblems.
+  int balance_denominator = 3;
+  /// Max greedy refinement passes per cut.
+  int refine_passes = 4;
+};
+
+struct RpmcResult {
+  std::vector<ActorId> lexorder;  ///< topological order from the recursion
+  Schedule flat;                  ///< flat SAS over that order
+};
+
+/// Runs RPMC on a consistent acyclic graph.
+/// Throws std::invalid_argument on cyclic graphs.
+[[nodiscard]] RpmcResult rpmc(const Graph& g, const Repetitions& q,
+                              const RpmcOptions& options = {});
+
+/// Multi-start RPMC: runs the recursion once per balance denominator and
+/// keeps the order whose SDPPO shared-cost estimate is smallest. The cut
+/// balance strongly steers which buffers end up cut-crossing (and hence
+/// unshareable), and no single denominator wins everywhere — e.g. on
+/// qmf12_5d denominator 5 allocates 68 tokens where 3 allocates 93.
+[[nodiscard]] RpmcResult rpmc_multistart(
+    const Graph& g, const Repetitions& q,
+    const std::vector<int>& denominators = {2, 3, 4, 5});
+
+}  // namespace sdf

@@ -1,0 +1,63 @@
+#include "sched/sdppo.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sched/dppo.h"
+#include "sdf/analysis.h"
+
+namespace sdf {
+
+SdppoResult sdppo(const Graph& g, const Repetitions& q,
+                  const std::vector<ActorId>& order) {
+  if (!is_topological_order(g, order)) {
+    throw std::invalid_argument("sdppo: order is not a topological order");
+  }
+  const std::size_t n = order.size();
+  const SplitCosts costs(g, q, order);
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::vector<std::vector<std::int64_t>> b(n,
+                                           std::vector<std::int64_t>(n, 0));
+  SplitTable splits;
+  splits.at.assign(n, std::vector<std::size_t>(n, 0));
+
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      const std::size_t j = i + len - 1;
+      std::int64_t best = kInf;
+      std::int64_t best_edges = kInf;
+      std::size_t best_k = i;
+      for (std::size_t k = i; k < j; ++k) {
+        // EQ 5: halves overlay each other; crossing buffers stay live
+        // across both and cannot share with either.
+        const std::int64_t total = std::max(b[i][k], b[k + 1][j]) +
+                                   costs.cost(i, k, j);
+        // Tie-break toward splits with fewer crossing edges: they leave
+        // the halves fully overlayable and avoid needless factoring.
+        const std::int64_t edges = costs.edge_count(i, k, j);
+        if (total < best || (total == best && edges < best_edges)) {
+          best = total;
+          best_edges = edges;
+          best_k = k;
+        }
+      }
+      b[i][j] = best;
+      splits.at[i][j] = best_k;
+    }
+  }
+
+  SdppoResult result;
+  result.estimate = n >= 2 ? b[0][n - 1] : 0;
+  result.splits = splits;
+  // Sec. 5.1 heuristic: factor only when the split has internal edges.
+  result.schedule = schedule_from_splits(
+      g, q, order, splits,
+      [&](std::size_t i, std::size_t k, std::size_t j) {
+        return costs.edge_count(i, k, j) > 0;
+      });
+  return result;
+}
+
+}  // namespace sdf

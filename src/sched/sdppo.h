@@ -1,0 +1,34 @@
+// Shared-buffer DPPO heuristic (Sec. 5, EQ 5).
+//
+// Same DP skeleton as DPPO, but the combination rule models buffer overlay:
+// the left and right halves of a split are never simultaneously live, so
+//   b[i,j] = min_k { max(b[i,k], b[k+1,j]) + sum_{e crossing} TNSE(e)/g_ij }.
+// Following Sec. 5.1, a subchain loop is factored by its repetition gcd only
+// when the split has internal (crossing) edges; otherwise factoring can only
+// destroy sharing between disjoint input/output buffers (Fig. 7) and is
+// skipped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/sas.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+struct SdppoResult {
+  /// The DP's shared-memory cost estimate (EQ 5). An estimate, not the
+  /// final allocation: first-fit over extracted lifetimes decides that.
+  std::int64_t estimate = 0;
+  Schedule schedule;  ///< shared-model-optimized R-schedule (normalized)
+  SplitTable splits;
+};
+
+/// Runs the shared-model DP over a topological `order`.
+/// Throws std::invalid_argument when `order` is not topological.
+[[nodiscard]] SdppoResult sdppo(const Graph& g, const Repetitions& q,
+                                const std::vector<ActorId>& order);
+
+}  // namespace sdf

@@ -1,0 +1,131 @@
+#include "sdf/dot.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace sdf {
+
+std::string graph_to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n"
+     << "  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t a = 0; a < g.num_actors(); ++a) {
+    os << "  a" << a << " [label=\"" << g.actor(static_cast<ActorId>(a)).name
+       << "\"];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  a" << e.src << " -> a" << e.snk << " [label=\"" << e.prod << "/"
+       << e.cns;
+    if (e.delay != 0) os << " (" << e.delay << "D)";
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string schedule_tree_to_dot(const Graph& g, const ScheduleTree& tree) {
+  std::ostringstream os;
+  os << "digraph schedule_tree {\n  node [shape=ellipse];\n";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const TreeNode& n = tree.node(static_cast<TreeNodeId>(i));
+    os << "  n" << i << " [label=\"";
+    if (n.is_leaf()) {
+      os << "(";
+      if (n.leaf_count != 1) os << n.leaf_count;
+      os << g.actor(n.actor).name << ")";
+    } else {
+      os << "x" << n.loop;
+    }
+    os << "\\n[" << n.start << "," << n.stop << ")\"";
+    if (n.is_leaf()) os << " shape=box";
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const TreeNode& n = tree.node(static_cast<TreeNodeId>(i));
+    if (!n.is_leaf()) {
+      os << "  n" << i << " -> n" << n.left << ";\n";
+      os << "  n" << i << " -> n" << n.right << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string allocation_to_text(const Graph& g,
+                               const std::vector<BufferLifetime>& lifetimes,
+                               const Allocation& alloc) {
+  std::ostringstream os;
+  os << "pool size: " << alloc.total_size << " tokens\n";
+  // Rows sorted by offset for a readable memory map.
+  std::vector<std::size_t> order(lifetimes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return alloc.offsets[static_cast<std::size_t>(lifetimes[x].edge)] <
+           alloc.offsets[static_cast<std::size_t>(lifetimes[y].edge)];
+  });
+  for (std::size_t i : order) {
+    const BufferLifetime& b = lifetimes[i];
+    const Edge& e = g.edge(b.edge);
+    const std::int64_t off =
+        alloc.offsets[static_cast<std::size_t>(b.edge)];
+    os << "  [" << off << ", " << off + b.width << ") " << g.actor(e.src).name
+       << "->" << g.actor(e.snk).name << "  live [";
+    os << b.interval.first_start() << ","
+       << b.interval.first_start() + b.interval.burst_duration() << ")";
+    if (b.interval.is_periodic()) {
+      os << " x" << b.interval.occurrences();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string lifetime_gantt(const Graph& g,
+                           const std::vector<BufferLifetime>& lifetimes,
+                           std::int64_t period, const Allocation* alloc,
+                           std::size_t max_cols) {
+  std::ostringstream os;
+  if (period <= 0 || max_cols == 0) return os.str();
+  const auto cols = static_cast<std::int64_t>(
+      std::min<std::size_t>(max_cols, static_cast<std::size_t>(period)));
+  const std::int64_t steps_per_col = (period + cols - 1) / cols;
+
+  // Header ruler every 8 columns.
+  std::size_t label_width = 0;
+  for (const BufferLifetime& b : lifetimes) {
+    const Edge& e = g.edge(b.edge);
+    label_width = std::max(label_width, g.actor(e.src).name.size() +
+                                            g.actor(e.snk).name.size() + 2);
+  }
+  os << std::string(label_width + 1, ' ');
+  for (std::int64_t c = 0; c < cols; ++c) {
+    os << (c % 8 == 0 ? '|' : ' ');
+  }
+  os << "  (" << steps_per_col << " step" << (steps_per_col > 1 ? "s" : "")
+     << "/col, period " << period << ")\n";
+
+  for (const BufferLifetime& b : lifetimes) {
+    const Edge& e = g.edge(b.edge);
+    std::string label = g.actor(e.src).name + "->" + g.actor(e.snk).name;
+    label.resize(label_width, ' ');
+    os << label << ' ';
+    for (std::int64_t c = 0; c < cols; ++c) {
+      bool live = false;
+      for (std::int64_t t = c * steps_per_col;
+           t < std::min(period, (c + 1) * steps_per_col) && !live; ++t) {
+        live = b.interval.live_at(t);
+      }
+      os << (live ? '#' : '.');
+    }
+    os << "  w=" << b.width;
+    if (alloc != nullptr &&
+        static_cast<std::size_t>(b.edge) < alloc->offsets.size()) {
+      os << " @" << alloc->offsets[static_cast<std::size_t>(b.edge)];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdf

@@ -1,0 +1,79 @@
+#include "sdf/graph.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace sdf {
+
+ActorId Graph::add_actor(std::string name) {
+  actors_.push_back(Actor{std::move(name)});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<ActorId>(actors_.size() - 1);
+}
+
+EdgeId Graph::add_edge(ActorId src, ActorId snk, std::int64_t prod,
+                       std::int64_t cns, std::int64_t delay) {
+  if (!valid_actor(src) || !valid_actor(snk)) {
+    throw std::invalid_argument("Graph::add_edge: invalid actor id");
+  }
+  if (prod <= 0 || cns <= 0) {
+    throw std::invalid_argument("Graph::add_edge: rates must be positive");
+  }
+  if (delay < 0) {
+    throw std::invalid_argument("Graph::add_edge: delay must be non-negative");
+  }
+  edges_.push_back(Edge{src, snk, prod, cns, delay});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(snk)].push_back(id);
+  return id;
+}
+
+const Actor& Graph::actor(ActorId a) const {
+  if (!valid_actor(a)) throw std::out_of_range("Graph::actor: bad id");
+  return actors_[static_cast<std::size_t>(a)];
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  if (!valid_edge(e)) throw std::out_of_range("Graph::edge: bad id");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+const std::vector<EdgeId>& Graph::out_edges(ActorId a) const {
+  if (!valid_actor(a)) throw std::out_of_range("Graph::out_edges: bad id");
+  return out_[static_cast<std::size_t>(a)];
+}
+
+const std::vector<EdgeId>& Graph::in_edges(ActorId a) const {
+  if (!valid_actor(a)) throw std::out_of_range("Graph::in_edges: bad id");
+  return in_[static_cast<std::size_t>(a)];
+}
+
+std::optional<EdgeId> Graph::find_edge(ActorId src, ActorId snk) const {
+  if (!valid_actor(src)) return std::nullopt;
+  for (EdgeId e : out_[static_cast<std::size_t>(src)]) {
+    if (edges_[static_cast<std::size_t>(e)].snk == snk) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<ActorId> Graph::find_actor(std::string_view name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) return static_cast<ActorId>(i);
+  }
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, const Graph& g) {
+  os << "graph \"" << g.name() << "\" (" << g.num_actors() << " actors, "
+     << g.num_edges() << " edges)\n";
+  for (const Edge& e : g.edges()) {
+    os << "  " << g.actor(e.src).name << " -(" << e.prod << "/" << e.cns;
+    if (e.delay != 0) os << ",D" << e.delay;
+    os << ")-> " << g.actor(e.snk).name << "\n";
+  }
+  return os;
+}
+
+}  // namespace sdf

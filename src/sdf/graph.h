@@ -1,0 +1,100 @@
+// Core synchronous-dataflow (SDF) graph model.
+//
+// An SDF graph is a directed multigraph. Each actor fires atomically; each
+// edge e carries prod(e) tokens per firing of src(e), removes cns(e) tokens
+// per firing of snk(e), and starts with del(e) initial tokens ("delays").
+// This header defines the value-semantic graph container used by every
+// scheduling and allocation algorithm in the library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdf {
+
+/// Index of an actor within a Graph. Dense, 0-based.
+using ActorId = std::int32_t;
+/// Index of an edge within a Graph. Dense, 0-based.
+using EdgeId = std::int32_t;
+
+inline constexpr ActorId kInvalidActor = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// A named dataflow actor. Rates live on edges, not actors, so this is
+/// deliberately small; `name` exists for diagnostics and code generation.
+struct Actor {
+  std::string name;
+};
+
+/// A directed SDF edge with production/consumption rates and initial tokens.
+struct Edge {
+  ActorId src = kInvalidActor;
+  ActorId snk = kInvalidActor;
+  std::int64_t prod = 1;   ///< tokens written per firing of src
+  std::int64_t cns = 1;    ///< tokens read per firing of snk
+  std::int64_t delay = 0;  ///< initial tokens on the edge
+};
+
+/// Value-semantic SDF graph. Actors and edges are appended and never
+/// removed; algorithms that need subgraphs copy or index instead.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds an actor and returns its id. Names need not be unique, but
+  /// benchmark builders keep them unique for readable output.
+  ActorId add_actor(std::string name);
+
+  /// Adds an edge src -> snk. Throws std::invalid_argument on bad ids or
+  /// non-positive rates or negative delay.
+  EdgeId add_edge(ActorId src, ActorId snk, std::int64_t prod,
+                  std::int64_t cns, std::int64_t delay = 0);
+
+  /// Convenience for homogeneous (rate-1) connections.
+  EdgeId connect(ActorId src, ActorId snk) { return add_edge(src, snk, 1, 1); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::size_t num_actors() const { return actors_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const Actor& actor(ActorId a) const;
+  [[nodiscard]] const Edge& edge(EdgeId e) const;
+  [[nodiscard]] const std::vector<Actor>& actors() const { return actors_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids leaving / entering an actor (multi-edges preserved).
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(ActorId a) const;
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(ActorId a) const;
+
+  /// First edge from src to snk, if any.
+  [[nodiscard]] std::optional<EdgeId> find_edge(ActorId src, ActorId snk) const;
+
+  /// Looks an actor up by name (linear scan; diagnostics only).
+  [[nodiscard]] std::optional<ActorId> find_actor(std::string_view name) const;
+
+  [[nodiscard]] bool valid_actor(ActorId a) const {
+    return a >= 0 && static_cast<std::size_t>(a) < actors_.size();
+  }
+  [[nodiscard]] bool valid_edge(EdgeId e) const {
+    return e >= 0 && static_cast<std::size_t>(e) < edges_.size();
+  }
+
+ private:
+  std::string name_;
+  std::vector<Actor> actors_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+/// Human-readable dump: one line per edge `src -(prod/cns,delay)-> snk`.
+std::ostream& operator<<(std::ostream& os, const Graph& g);
+
+}  // namespace sdf

@@ -1,0 +1,90 @@
+#include "sdf/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdf {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("parse_graph_text: line " +
+                              std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Graph parse_graph_text(std::string_view text) {
+  Graph g;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank/comment line
+
+    if (keyword == "graph") {
+      std::string name;
+      if (!(tokens >> name)) fail(line_no, "graph needs a name");
+      g.set_name(name);
+    } else if (keyword == "actor") {
+      std::string name;
+      if (!(tokens >> name)) fail(line_no, "actor needs a name");
+      if (g.find_actor(name)) fail(line_no, "duplicate actor '" + name + "'");
+      g.add_actor(name);
+    } else if (keyword == "edge") {
+      std::string src, snk;
+      std::int64_t prod = 0, cns = 0, delay = 0;
+      if (!(tokens >> src >> snk >> prod >> cns)) {
+        fail(line_no, "edge needs: src snk prod cns [delay]");
+      }
+      tokens >> delay;  // optional
+      const auto s = g.find_actor(src);
+      const auto t = g.find_actor(snk);
+      if (!s) fail(line_no, "unknown actor '" + src + "'");
+      if (!t) fail(line_no, "unknown actor '" + snk + "'");
+      try {
+        g.add_edge(*s, *t, prod, cns, delay);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  return g;
+}
+
+std::string write_graph_text(const Graph& g) {
+  std::ostringstream os;
+  os << "graph " << (g.name().empty() ? "unnamed" : g.name()) << "\n";
+  for (const Actor& a : g.actors()) os << "actor " << a.name << "\n";
+  for (const Edge& e : g.edges()) {
+    os << "edge " << g.actor(e.src).name << " " << g.actor(e.snk).name << " "
+       << e.prod << " " << e.cns;
+    if (e.delay != 0) os << " " << e.delay;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_graph_text(buffer.str());
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph: cannot open " + path);
+  out << write_graph_text(g);
+  if (!out) throw std::runtime_error("save_graph: write failed " + path);
+}
+
+}  // namespace sdf

@@ -1,0 +1,33 @@
+// Plain-text SDF graph format, for interchange with external tools.
+//
+//   # comment
+//   graph cd_dat
+//   actor A
+//   actor B
+//   edge A B 2 3       # prod 2, cns 3, no delay
+//   edge A B 2 3 1     # trailing field = initial tokens
+//
+// Actors are declared before use; names are whitespace-free tokens.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "sdf/graph.h"
+
+namespace sdf {
+
+/// Parses the text format. Throws std::invalid_argument with a line number
+/// on malformed input.
+[[nodiscard]] Graph parse_graph_text(std::string_view text);
+
+/// Serializes a graph; parse_graph_text(write_graph_text(g)) reproduces
+/// the same actors/edges in order.
+[[nodiscard]] std::string write_graph_text(const Graph& g);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+[[nodiscard]] Graph load_graph(const std::string& path);
+void save_graph(const Graph& g, const std::string& path);
+
+}  // namespace sdf

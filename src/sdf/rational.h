@@ -1,0 +1,96 @@
+// Exact rational arithmetic used by the balance-equation solver.
+//
+// Repetition-vector computation propagates firing-rate ratios along a
+// spanning tree; doing this in floating point would mis-classify
+// inconsistent graphs, so we keep exact normalized fractions.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace sdf {
+
+/// Normalized rational number with positive denominator. Overflow on the
+/// 64-bit intermediate products is checked and reported by throwing
+/// std::overflow_error (repetition vectors that large are not schedulable
+/// in practice anyway).
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num, std::int64_t den = 1) : num_(num), den_(den) {
+    if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] std::int64_t num() const { return num_; }
+  [[nodiscard]] std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    // Cross-reduce first to keep intermediates small.
+    const std::int64_t g1 = std::gcd(a.num_, b.den_);
+    const std::int64_t g2 = std::gcd(b.num_, a.den_);
+    return Rational(checked_mul(a.num_ / g1, b.num_ / g2),
+                    checked_mul(a.den_ / g2, b.den_ / g1));
+  }
+
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw std::domain_error("Rational: divide by zero");
+    return a * Rational(b.den_, b.num_);
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    const std::int64_t g = std::gcd(a.den_, b.den_);
+    const std::int64_t lhs = checked_mul(a.num_, b.den_ / g);
+    const std::int64_t rhs = checked_mul(b.num_, a.den_ / g);
+    return Rational(checked_add(lhs, rhs), checked_mul(a.den_, b.den_ / g));
+  }
+
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return a + Rational(-b.num_, b.den_);
+  }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+
+ private:
+  static std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+    std::int64_t r = 0;
+    if (__builtin_mul_overflow(a, b, &r)) {
+      throw std::overflow_error("Rational: multiplication overflow");
+    }
+    return r;
+  }
+  static std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+    std::int64_t r = 0;
+    if (__builtin_add_overflow(a, b, &r)) {
+      throw std::overflow_error("Rational: addition overflow");
+    }
+    return r;
+  }
+
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace sdf

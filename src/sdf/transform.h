@@ -1,0 +1,52 @@
+// Graph transformations: SDF -> homogeneous (HSDF) expansion and subgraph
+// clustering. These are the substrates classic SDF tooling builds
+// multiprocessor scheduling and precedence analysis on; here they also
+// serve as test oracles (an expansion preserves token traffic exactly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+
+struct HsdfExpansion {
+  Graph graph;  ///< homogeneous graph: one node per firing
+  /// original actor of each expanded node.
+  std::vector<ActorId> actor_of;
+  /// firing index (0-based within the period) of each expanded node.
+  std::vector<std::int64_t> firing_of;
+  /// expanded node for (actor, firing): node_of[actor][k].
+  std::vector<std::vector<ActorId>> node_of;
+};
+
+/// Expands a consistent SDF graph into its homogeneous equivalent: actor a
+/// becomes q(a) nodes; the k-th token of each edge connects the firing
+/// that produces it to the firing that consumes it, with a delay when the
+/// consumption happens a period later. Guard: throws std::length_error
+/// when sum(q) exceeds `max_nodes`.
+[[nodiscard]] HsdfExpansion expand_to_homogeneous(const Graph& g,
+                                                  const Repetitions& q,
+                                                  std::size_t max_nodes =
+                                                      100000);
+
+/// Clusters `members` of `g` into one supernode firing `gcd(q(members))`
+/// times per period: rates on boundary edges are scaled so the clustered
+/// graph stays consistent. Throws std::invalid_argument when clustering
+/// would create a cycle through the rest of the graph or `members` is
+/// empty.
+struct ClusteredGraph {
+  Graph graph;
+  /// Actor in the clustered graph for each original actor (members map to
+  /// the supernode, which is the last actor).
+  std::vector<ActorId> image_of;
+  ActorId supernode = kInvalidActor;
+  std::int64_t supernode_repetitions = 0;
+};
+
+[[nodiscard]] ClusteredGraph cluster_subgraph(
+    const Graph& g, const Repetitions& q, const std::vector<ActorId>& members);
+
+}  // namespace sdf

@@ -1,0 +1,62 @@
+// Functional (token-value) execution of SDF systems.
+//
+// The pool checker proves no live token is overwritten; this module goes
+// one step further and proves *value* equivalence: the same schedule is
+// executed twice with real actor kernels —
+//   (a) reference semantics: every edge is an unbounded FIFO,
+//   (b) pool semantics: every edge lives at its first-fit offset, indexed
+//       modulo its width, exactly like the generated C code —
+// and every consumed token must carry the same value in both runs. This is
+// the strongest executable statement that the lifetime model, the overlap
+// test and the allocator compose correctly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "lifetime/lifetime_extract.h"
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+
+namespace sdf {
+
+using TokenValue = std::int64_t;
+
+/// One firing's worth of work: `inputs[i]` holds cns tokens for the i-th
+/// input edge (graph order); must return prod tokens for each output edge.
+using ActorKernel = std::function<std::vector<std::vector<TokenValue>>(
+    const std::vector<std::vector<TokenValue>>& inputs)>;
+
+/// Kernel table indexed by actor.
+using KernelTable = std::vector<ActorKernel>;
+
+/// Deterministic default kernels: output token t of edge j on firing k of
+/// actor a = (sum of inputs) * 31 + a * 7 + j * 3 + t — enough mixing that
+/// any misrouted token changes downstream values.
+[[nodiscard]] KernelTable default_kernels(const Graph& g);
+
+struct FunctionalRunResult {
+  bool ok = false;
+  std::string error;
+  /// Every token consumed during the period, in consumption order
+  /// (reference run) — exposed so tests can assert on actual values.
+  std::vector<TokenValue> consumed;
+};
+
+/// Runs one period with reference FIFO semantics. Initial tokens carry
+/// value  -(edge_id * 1000 + position) - 1  so they are distinguishable.
+[[nodiscard]] FunctionalRunResult run_reference(const Graph& g,
+                                                const Schedule& schedule,
+                                                const KernelTable& kernels);
+
+/// Runs one period with shared-pool semantics and compares every consumed
+/// token against the reference run. `lifetimes`/`alloc` must come from the
+/// same schedule.
+[[nodiscard]] FunctionalRunResult run_pooled_and_compare(
+    const Graph& g, const Schedule& schedule, const KernelTable& kernels,
+    const std::vector<BufferLifetime>& lifetimes, const Allocation& alloc);
+
+}  // namespace sdf

@@ -1,0 +1,100 @@
+#include "sched/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "graphs/cddat.h"
+#include "sched/dppo.h"
+#include "sched/simulator.h"
+#include "sdf/analysis.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+Edge make_edge(std::int64_t prod, std::int64_t cns, std::int64_t delay = 0) {
+  return Edge{0, 1, prod, cns, delay};
+}
+
+TEST(Bmlb, DelaylessEdgeIsEta) {
+  EXPECT_EQ(bmlb_edge(make_edge(1, 1)), 1);
+  EXPECT_EQ(bmlb_edge(make_edge(2, 3)), 6);
+  EXPECT_EQ(bmlb_edge(make_edge(4, 6)), 12);  // 4*6/gcd(4,6)=12
+  EXPECT_EQ(bmlb_edge(make_edge(10, 5)), 10);
+}
+
+TEST(Bmlb, SmallDelayAdds) {
+  EXPECT_EQ(bmlb_edge(make_edge(2, 3, 1)), 7);
+  EXPECT_EQ(bmlb_edge(make_edge(2, 3, 5)), 11);
+}
+
+TEST(Bmlb, LargeDelayDominates) {
+  EXPECT_EQ(bmlb_edge(make_edge(2, 3, 6)), 6);
+  EXPECT_EQ(bmlb_edge(make_edge(2, 3, 9)), 9);
+}
+
+TEST(Bmlb, GraphSumsEdges) {
+  const Graph g = testing::fig2_graph();
+  // eta(A->B) = 10*5/5 = 10, eta(B->C) = 5*15/5 = 15.
+  EXPECT_EQ(bmlb(g), 25);
+}
+
+TEST(Bmlb, NeverExceedsAnySasBufmem) {
+  const Graph g = cd_to_dat();
+  const Repetitions q = repetitions_vector(g);
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  const DppoResult best = dppo(g, q, *order);
+  EXPECT_LE(bmlb(g), best.cost);
+}
+
+TEST(MinBufferAnySchedule, DelaylessFormula) {
+  // a + b - gcd(a,b)
+  EXPECT_EQ(min_buffer_any_schedule_edge(make_edge(1, 1)), 1);
+  EXPECT_EQ(min_buffer_any_schedule_edge(make_edge(2, 3)), 4);
+  EXPECT_EQ(min_buffer_any_schedule_edge(make_edge(4, 6)), 8);
+}
+
+TEST(MinBufferAnySchedule, DelayBranches) {
+  // d < a+b-c: bound + d mod c.
+  EXPECT_EQ(min_buffer_any_schedule_edge(make_edge(4, 6, 3)), 9);  // 8 + 3%2
+  // d >= a+b-c: just d.
+  EXPECT_EQ(min_buffer_any_schedule_edge(make_edge(2, 3, 10)), 10);
+}
+
+TEST(MinBufferAnySchedule, NeverExceedsBmlb) {
+  for (std::int64_t a = 1; a <= 8; ++a) {
+    for (std::int64_t b = 1; b <= 8; ++b) {
+      for (std::int64_t d : {0, 1, 3, 12}) {
+        EXPECT_LE(min_buffer_any_schedule_edge(make_edge(a, b, d)),
+                  bmlb_edge(make_edge(a, b, d)))
+            << a << "/" << b << " D" << d;
+      }
+    }
+  }
+}
+
+TEST(MinBufferAnySchedule, AchievedByDemandDrivenChainSchedule) {
+  // On a two-actor graph the bound a+b-c is achieved by alternating
+  // firings; verify against exhaustive simulation of the greedy schedule.
+  const Graph g = testing::two_actor(2, 3);
+  const Repetitions q = repetitions_vector(g);  // (3, 2)
+  // Greedy data-driven: fire snk whenever possible: A A B A B.
+  const Schedule s = parse_schedule(g, "A A B A B");
+  const SimulationResult r = simulate(g, s);
+  ASSERT_TRUE(r.valid);
+  EXPECT_TRUE(is_valid_schedule(g, q, s));
+  EXPECT_EQ(r.max_tokens[0], min_buffer_any_schedule_edge(g.edge(0)));
+}
+
+TEST(MinBufferAnySchedule, GraphSum) {
+  const Graph g = cd_to_dat();
+  std::int64_t by_hand = 0;
+  for (const Edge& e : g.edges()) {
+    by_hand += min_buffer_any_schedule_edge(e);
+  }
+  EXPECT_EQ(min_buffer_any_schedule(g), by_hand);
+  EXPECT_LE(min_buffer_any_schedule(g), bmlb(g));
+}
+
+}  // namespace
+}  // namespace sdf

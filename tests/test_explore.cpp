@@ -1,0 +1,91 @@
+#include "pipeline/explore.h"
+
+#include <gtest/gtest.h>
+
+#include "graphs/cddat.h"
+#include "graphs/filterbank.h"
+#include "graphs/satellite.h"
+#include "sched/simulator.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+namespace {
+
+TEST(Explore, EvaluatesMultipleStrategies) {
+  const ExploreResult r = explore_designs(cd_to_dat());
+  EXPECT_GE(r.points.size(), 6u);  // 2 orders x 3 optimizers at least
+  EXPECT_FALSE(r.frontier.empty());
+}
+
+TEST(Explore, FrontierIsPareto) {
+  const ExploreResult r = explore_designs(satellite_receiver());
+  for (const DesignPoint& f : r.frontier) {
+    EXPECT_TRUE(f.pareto);
+    for (const DesignPoint& other : r.points) {
+      const bool dominates =
+          other.code_size <= f.code_size &&
+          other.shared_memory <= f.shared_memory &&
+          (other.code_size < f.code_size ||
+           other.shared_memory < f.shared_memory);
+      EXPECT_FALSE(dominates)
+          << other.strategy << " dominates " << f.strategy;
+    }
+  }
+  // Frontier sorted by code size, memory strictly decreasing along it.
+  for (std::size_t i = 1; i < r.frontier.size(); ++i) {
+    EXPECT_GE(r.frontier[i].code_size, r.frontier[i - 1].code_size);
+    EXPECT_LE(r.frontier[i].shared_memory,
+              r.frontier[i - 1].shared_memory);
+  }
+}
+
+TEST(Explore, SchedulesAreAllValid) {
+  const Graph g = qmf23(2);
+  const Repetitions q = repetitions_vector(g);
+  const ExploreResult r = explore_designs(g);
+  for (const DesignPoint& p : r.points) {
+    EXPECT_TRUE(is_valid_schedule(g, q, p.schedule)) << p.strategy;
+    EXPECT_EQ(simulate(g, p.schedule).buffer_memory, p.nonshared_memory)
+        << p.strategy;
+  }
+}
+
+TEST(Explore, MergingPointsAppearWhenEnabled) {
+  ExploreOptions options;
+  options.try_merging = true;
+  const ExploreResult with = explore_designs(cd_to_dat(), options);
+  bool merged_point = false;
+  for (const DesignPoint& p : with.points) {
+    merged_point |= p.strategy.find("+merge") != std::string::npos;
+  }
+  EXPECT_TRUE(merged_point);
+
+  options.try_merging = false;
+  const ExploreResult without = explore_designs(cd_to_dat(), options);
+  for (const DesignPoint& p : without.points) {
+    EXPECT_EQ(p.strategy.find("+merge"), std::string::npos);
+  }
+}
+
+TEST(Explore, AppearanceBudgetsAddPoints) {
+  ExploreOptions lean;
+  lean.appearance_budgets = {0};
+  ExploreOptions rich;
+  rich.appearance_budgets = {0, 64, 512};
+  const Graph g = cd_to_dat();
+  EXPECT_LE(explore_designs(g, lean).points.size(),
+            explore_designs(g, rich).points.size());
+}
+
+TEST(Explore, CustomModelRespected) {
+  ExploreOptions options;
+  const Graph g = cd_to_dat();
+  options.model = CodeSizeModel::uniform(g, 1000);
+  const ExploreResult r = explore_designs(g, options);
+  for (const DesignPoint& p : r.points) {
+    EXPECT_GE(p.code_size, 6000);  // six actors, 1000 units each
+  }
+}
+
+}  // namespace
+}  // namespace sdf

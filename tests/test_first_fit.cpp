@@ -1,0 +1,155 @@
+#include "alloc/first_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/clique.h"
+#include "graphs/cddat.h"
+#include "graphs/satellite.h"
+#include "sched/apgan.h"
+#include "sched/sdppo.h"
+#include "sdf/analysis.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+BufferLifetime make_buffer(EdgeId e, std::int64_t width, std::int64_t start,
+                           std::int64_t dur) {
+  BufferLifetime b;
+  b.edge = e;
+  b.width = width;
+  b.interval = PeriodicInterval::solid(start, dur);
+  return b;
+}
+
+TEST(FirstFit, DisjointBuffersShareAddressZero) {
+  std::vector<BufferLifetime> ls{make_buffer(0, 4, 0, 2),
+                                 make_buffer(1, 4, 2, 2)};
+  const IntersectionGraph wig = build_intersection_graph_generic(ls);
+  const Allocation a = first_fit(wig, ls, FirstFitOrder::kInputOrder);
+  EXPECT_EQ(a.offsets, (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(a.total_size, 4);
+  EXPECT_TRUE(allocation_is_valid(wig, a));
+}
+
+TEST(FirstFit, OverlappingBuffersStack) {
+  std::vector<BufferLifetime> ls{make_buffer(0, 3, 0, 4),
+                                 make_buffer(1, 2, 2, 4)};
+  const IntersectionGraph wig = build_intersection_graph_generic(ls);
+  const Allocation a = first_fit(wig, ls, FirstFitOrder::kInputOrder);
+  EXPECT_EQ(a.offsets[0], 0);
+  EXPECT_EQ(a.offsets[1], 3);
+  EXPECT_EQ(a.total_size, 5);
+}
+
+TEST(FirstFit, FillsGapBetweenNeighbors) {
+  // Buffers 0 and 1 overlap everything; buffer 2 fits into the hole left
+  // after buffer 1 dies... construct: 0 at [0,10) w3; 1 at [0,4) w2;
+  // 2 at [5,9) w2 conflicts only with 0 -> placed at offset 3.
+  std::vector<BufferLifetime> ls{make_buffer(0, 3, 0, 10),
+                                 make_buffer(1, 2, 0, 4),
+                                 make_buffer(2, 2, 5, 4)};
+  const IntersectionGraph wig = build_intersection_graph_generic(ls);
+  const Allocation a = first_fit(wig, ls, FirstFitOrder::kInputOrder);
+  EXPECT_EQ(a.offsets[0], 0);
+  EXPECT_EQ(a.offsets[1], 3);
+  EXPECT_EQ(a.offsets[2], 3);  // reuses buffer 1's slot
+  EXPECT_EQ(a.total_size, 5);
+  EXPECT_TRUE(allocation_is_valid(wig, a));
+}
+
+TEST(FirstFit, GapTooSmallSkipsToNextHole) {
+  std::vector<BufferLifetime> ls{make_buffer(0, 1, 0, 10),
+                                 make_buffer(1, 3, 0, 10),
+                                 make_buffer(2, 2, 0, 10)};
+  const IntersectionGraph wig = build_intersection_graph_generic(ls);
+  // Enumeration: 0 then 1 then 2: offsets 0, 1, 4 (no gap big enough).
+  const Allocation a = first_fit(wig, ls, FirstFitOrder::kInputOrder);
+  EXPECT_EQ(a.offsets, (std::vector<std::int64_t>{0, 1, 4}));
+  EXPECT_EQ(a.total_size, 6);
+}
+
+TEST(FirstFit, EnumerationOrderByDuration) {
+  std::vector<BufferLifetime> ls{make_buffer(0, 1, 0, 2),
+                                 make_buffer(1, 1, 0, 9),
+                                 make_buffer(2, 1, 0, 5)};
+  const auto order = enumeration_order(ls, FirstFitOrder::kByDuration);
+  EXPECT_EQ(order, (std::vector<std::int32_t>{1, 2, 0}));
+}
+
+TEST(FirstFit, EnumerationOrderByStart) {
+  std::vector<BufferLifetime> ls{make_buffer(0, 1, 5, 2),
+                                 make_buffer(1, 1, 0, 2),
+                                 make_buffer(2, 1, 3, 2)};
+  const auto order = enumeration_order(ls, FirstFitOrder::kByStartTime);
+  EXPECT_EQ(order, (std::vector<std::int32_t>{1, 2, 0}));
+}
+
+TEST(FirstFit, EnumerationOrderByWidth) {
+  std::vector<BufferLifetime> ls{make_buffer(0, 2, 0, 2),
+                                 make_buffer(1, 9, 0, 2),
+                                 make_buffer(2, 5, 0, 2)};
+  const auto order = enumeration_order(ls, FirstFitOrder::kByWidth);
+  EXPECT_EQ(order, (std::vector<std::int32_t>{1, 2, 0}));
+}
+
+TEST(FirstFit, AllOrdersProduceValidAllocations) {
+  for (const Graph& g : {cd_to_dat(), satellite_receiver()}) {
+    const Repetitions q = repetitions_vector(g);
+    const SdppoResult opt = sdppo(g, q, apgan(g, q).lexorder);
+    const ScheduleTree tree(g, opt.schedule);
+    const auto lifetimes = extract_lifetimes(g, q, tree);
+    const IntersectionGraph wig = build_intersection_graph(tree, lifetimes);
+    for (const FirstFitOrder order :
+         {FirstFitOrder::kByDuration, FirstFitOrder::kByStartTime,
+          FirstFitOrder::kByWidth, FirstFitOrder::kInputOrder}) {
+      const Allocation a = first_fit(wig, lifetimes, order);
+      EXPECT_TRUE(allocation_is_valid(wig, a)) << g.name();
+      EXPECT_GE(a.total_size, mcw_optimistic(lifetimes)) << g.name();
+    }
+  }
+}
+
+TEST(FirstFit, NeverWorseThanSumOfWidths) {
+  const Graph g = satellite_receiver();
+  const Repetitions q = repetitions_vector(g);
+  const SdppoResult opt = sdppo(g, q, apgan(g, q).lexorder);
+  const ScheduleTree tree(g, opt.schedule);
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  const IntersectionGraph wig = build_intersection_graph(tree, lifetimes);
+  std::int64_t sum = 0;
+  for (const BufferLifetime& b : lifetimes) sum += b.width;
+  const Allocation a = first_fit(wig, lifetimes, FirstFitOrder::kByDuration);
+  EXPECT_LE(a.total_size, sum);
+}
+
+TEST(AllocationIsValid, DetectsViolations) {
+  std::vector<BufferLifetime> ls{make_buffer(0, 3, 0, 4),
+                                 make_buffer(1, 2, 2, 4)};
+  const IntersectionGraph wig = build_intersection_graph_generic(ls);
+  Allocation bad;
+  bad.offsets = {0, 1};  // overlapping ranges for conflicting buffers
+  bad.total_size = 3;
+  EXPECT_FALSE(allocation_is_valid(wig, bad));
+  Allocation negative;
+  negative.offsets = {-1, 3};
+  negative.total_size = 5;
+  EXPECT_FALSE(allocation_is_valid(wig, negative));
+  Allocation short_total;
+  short_total.offsets = {0, 3};
+  short_total.total_size = 4;  // buffer 1 ends at 5
+  EXPECT_FALSE(allocation_is_valid(wig, short_total));
+  Allocation wrong_size;
+  wrong_size.offsets = {0};
+  EXPECT_FALSE(allocation_is_valid(wig, wrong_size));
+}
+
+TEST(FirstFit, EmptyInstance) {
+  const IntersectionGraph wig;
+  const Allocation a = first_fit_enumerated(wig, {});
+  EXPECT_EQ(a.total_size, 0);
+  EXPECT_TRUE(allocation_is_valid(wig, a));
+}
+
+}  // namespace
+}  // namespace sdf

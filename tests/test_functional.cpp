@@ -1,0 +1,135 @@
+#include "sim/functional.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graphs/cddat.h"
+#include "graphs/filterbank.h"
+#include "graphs/homogeneous.h"
+#include "graphs/random_sdf.h"
+#include "graphs/satellite.h"
+#include "pipeline/compile.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+TEST(Functional, ReferenceRunConsumesEveryProducedToken) {
+  const Graph g = testing::fig2_graph();
+  const CompileResult res = compile(g);
+  const FunctionalRunResult r =
+      run_reference(g, res.schedule, default_kernels(g));
+  ASSERT_TRUE(r.ok) << r.error;
+  // Consumption count = sum over edges of TNSE (delayless graph).
+  EXPECT_EQ(r.consumed.size(), 60u);  // 30 + 30
+}
+
+TEST(Functional, PooledMatchesReferenceOnPracticalSystems) {
+  for (const Graph& g : {cd_to_dat(), satellite_receiver(), qmf23(2),
+                         qmf12(3), homogeneous_mesh(3, 3)}) {
+    const CompileResult res = compile(g);
+    const FunctionalRunResult r = run_pooled_and_compare(
+        g, res.schedule, default_kernels(g), res.lifetimes, res.allocation);
+    EXPECT_TRUE(r.ok) << g.name() << ": " << r.error;
+  }
+}
+
+TEST(Functional, PooledMatchesReferenceWithDelays) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.add_edge(a, b, 2, 2, 4);
+  g.add_edge(b, c, 3, 3);
+  const CompileResult res = compile(g);
+  const FunctionalRunResult r = run_pooled_and_compare(
+      g, res.schedule, default_kernels(g), res.lifetimes, res.allocation);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Functional, CorruptAllocationDetectedByValues) {
+  const Graph g = testing::fig2_graph();
+  const CompileResult res = compile(g);
+  Allocation bad = res.allocation;
+  for (auto& offset : bad.offsets) offset = 0;  // everything overlaps
+  bad.total_size = 64;
+  const FunctionalRunResult r = run_pooled_and_compare(
+      g, res.schedule, default_kernels(g), res.lifetimes, bad);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("mismatch"), std::string::npos);
+}
+
+TEST(Functional, UndersizedWidthDetected) {
+  const Graph g = testing::fig2_graph();
+  const CompileResult res = compile(g);
+  auto lifetimes = res.lifetimes;
+  lifetimes[0].width = 3;  // wraps too early
+  const FunctionalRunResult r = run_pooled_and_compare(
+      g, res.schedule, default_kernels(g), lifetimes, res.allocation);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Functional, CustomKernelsFlowThrough) {
+  // Identity-forwarding pipeline: sink consumes exactly what src made.
+  Graph g;
+  const ActorId src = g.add_actor("src");
+  const ActorId mid = g.add_actor("mid");
+  const ActorId snk = g.add_actor("snk");
+  g.add_edge(src, mid, 2, 2);
+  g.add_edge(mid, snk, 2, 1);
+  KernelTable kernels(3);
+  kernels[static_cast<std::size_t>(src)] =
+      [](const std::vector<std::vector<TokenValue>>&) {
+        return std::vector<std::vector<TokenValue>>{{41, 42}};
+      };
+  kernels[static_cast<std::size_t>(mid)] =
+      [](const std::vector<std::vector<TokenValue>>& in) {
+        return std::vector<std::vector<TokenValue>>{{in[0][0], in[0][1]}};
+      };
+  kernels[static_cast<std::size_t>(snk)] =
+      [](const std::vector<std::vector<TokenValue>>&) {
+        return std::vector<std::vector<TokenValue>>{};
+      };
+  const CompileResult res = compile(g);
+  const FunctionalRunResult r = run_pooled_and_compare(
+      g, res.schedule, kernels, res.lifetimes, res.allocation);
+  ASSERT_TRUE(r.ok) << r.error;
+  // snk consumed 41 then 42 (after mid's pass-through).
+  const std::size_t n = r.consumed.size();
+  ASSERT_GE(n, 2u);
+  EXPECT_EQ(r.consumed[n - 2], 41);
+  EXPECT_EQ(r.consumed[n - 1], 42);
+}
+
+TEST(Functional, MisbehavingKernelReported) {
+  const Graph g = testing::two_actor(1, 1);
+  KernelTable kernels(2);
+  kernels[0] = [](const std::vector<std::vector<TokenValue>>&) {
+    return std::vector<std::vector<TokenValue>>{{1, 2, 3}};  // prod is 1!
+  };
+  kernels[1] = [](const std::vector<std::vector<TokenValue>>&) {
+    return std::vector<std::vector<TokenValue>>{};
+  };
+  const CompileResult res = compile(g);
+  const FunctionalRunResult r =
+      run_reference(g, res.schedule, kernels);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("token count"), std::string::npos);
+}
+
+TEST(Functional, RandomGraphsValueEquivalence) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomSdfOptions options;
+    options.num_actors = 6 + trial * 2;
+    const Graph g = random_sdf_graph(options, rng);
+    const CompileResult res = compile(g);
+    const FunctionalRunResult r = run_pooled_and_compare(
+        g, res.schedule, default_kernels(g), res.lifetimes, res.allocation);
+    EXPECT_TRUE(r.ok) << g.name() << ": " << r.error;
+  }
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,102 @@
+// Robustness fuzzing: the text parsers must never crash — malformed input
+// either parses or throws a std:: exception, on arbitrary byte soup.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "sched/schedule.h"
+#include "sdf/io.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+std::string random_text(std::mt19937& rng, const std::string& alphabet,
+                        std::size_t max_len) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::string out;
+  const std::size_t n = len(rng);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(alphabet[pick(rng)]);
+  return out;
+}
+
+TEST(Fuzz, GraphParserNeverCrashes) {
+  std::mt19937 rng(2026);
+  const std::string alphabet =
+      "graph actor edge AB01 \n#\t-";
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string text = random_text(rng, alphabet, 120);
+    try {
+      const Graph g = parse_graph_text(text);
+      // Whatever parsed must be internally consistent.
+      for (const Edge& e : g.edges()) {
+        EXPECT_TRUE(g.valid_actor(e.src));
+        EXPECT_TRUE(g.valid_actor(e.snk));
+        EXPECT_GT(e.prod, 0);
+        EXPECT_GT(e.cns, 0);
+      }
+    } catch (const std::exception&) {
+      // rejected input: fine
+    }
+  }
+}
+
+TEST(Fuzz, GraphParserStructuredMutations) {
+  // Near-valid inputs: mutate one character of a valid file.
+  const std::string valid =
+      "graph g\nactor A\nactor B\nedge A B 2 3 1\nedge B A 3 2 6\n";
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = valid;
+    mutated[pos(rng)] = static_cast<char>(ch(rng));
+    try {
+      (void)parse_graph_text(mutated);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(Fuzz, ScheduleParserNeverCrashes) {
+  const Graph g = testing::fig2_graph();
+  std::mt19937 rng(77);
+  const std::string alphabet = "ABC()0123 ";
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::string text = random_text(rng, alphabet, 60);
+    try {
+      const Schedule s = parse_schedule(g, text);
+      // Parsed schedules must be well formed.
+      EXPECT_GE(s.total_firings(), 1);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(Fuzz, ScheduleRoundTripOnRandomValidSchedules) {
+  // Generate random nested schedules, print, reparse, compare firings.
+  const Graph g = testing::fig2_graph();
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> count(1, 4);
+  std::uniform_int_distribution<int> actor(0, 2);
+  std::uniform_int_distribution<int> children(1, 3);
+  auto gen = [&](auto&& self, int depth) -> Schedule {
+    if (depth == 0 || count(rng) == 1) {
+      return Schedule::leaf(actor(rng), count(rng));
+    }
+    std::vector<Schedule> body;
+    const int n = children(rng);
+    for (int i = 0; i < n; ++i) body.push_back(self(self, depth - 1));
+    return Schedule::loop(count(rng), std::move(body));
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const Schedule s = gen(gen, 3);
+    const Schedule back = parse_schedule(g, s.to_string(g));
+    EXPECT_EQ(back.flatten(), s.flatten()) << s.to_string(g);
+  }
+}
+
+}  // namespace
+}  // namespace sdf

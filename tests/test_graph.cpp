@@ -1,0 +1,142 @@
+#include "sdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sdf {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.num_actors(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, AddActorAssignsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_actor("A"), 0);
+  EXPECT_EQ(g.add_actor("B"), 1);
+  EXPECT_EQ(g.add_actor("C"), 2);
+  EXPECT_EQ(g.actor(1).name, "B");
+}
+
+TEST(Graph, AddEdgeStoresRates) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const EdgeId e = g.add_edge(a, b, 3, 5, 2);
+  EXPECT_EQ(g.edge(e).src, a);
+  EXPECT_EQ(g.edge(e).snk, b);
+  EXPECT_EQ(g.edge(e).prod, 3);
+  EXPECT_EQ(g.edge(e).cns, 5);
+  EXPECT_EQ(g.edge(e).delay, 2);
+}
+
+TEST(Graph, ConnectIsHomogeneous) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const EdgeId e = g.connect(a, b);
+  EXPECT_EQ(g.edge(e).prod, 1);
+  EXPECT_EQ(g.edge(e).cns, 1);
+  EXPECT_EQ(g.edge(e).delay, 0);
+}
+
+TEST(Graph, RejectsInvalidActorIds) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  EXPECT_THROW(g.add_edge(a, 7, 1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(-1, a, 1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNonPositiveRates) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  EXPECT_THROW(g.add_edge(a, b, 0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, b, 1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, b, -2, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNegativeDelay) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  EXPECT_THROW(g.add_edge(a, b, 1, 1, -1), std::invalid_argument);
+}
+
+TEST(Graph, OutAndInEdgesTrackMultiEdges) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const EdgeId e1 = g.add_edge(a, b, 1, 1);
+  const EdgeId e2 = g.add_edge(a, b, 2, 2);
+  ASSERT_EQ(g.out_edges(a).size(), 2u);
+  EXPECT_EQ(g.out_edges(a)[0], e1);
+  EXPECT_EQ(g.out_edges(a)[1], e2);
+  ASSERT_EQ(g.in_edges(b).size(), 2u);
+  EXPECT_TRUE(g.out_edges(b).empty());
+  EXPECT_TRUE(g.in_edges(a).empty());
+}
+
+TEST(Graph, FindEdgeReturnsFirstMatch) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const EdgeId ab = g.add_edge(a, b, 1, 1);
+  g.add_edge(a, c, 1, 1);
+  EXPECT_EQ(g.find_edge(a, b), ab);
+  EXPECT_FALSE(g.find_edge(b, a).has_value());
+  EXPECT_FALSE(g.find_edge(c, b).has_value());
+}
+
+TEST(Graph, FindActorByName) {
+  Graph g;
+  g.add_actor("alpha");
+  const ActorId beta = g.add_actor("beta");
+  EXPECT_EQ(g.find_actor("beta"), beta);
+  EXPECT_FALSE(g.find_actor("gamma").has_value());
+}
+
+TEST(Graph, AccessorsThrowOnBadIds) {
+  Graph g;
+  g.add_actor("A");
+  EXPECT_THROW((void)g.actor(3), std::out_of_range);
+  EXPECT_THROW((void)g.edge(0), std::out_of_range);
+  EXPECT_THROW((void)g.out_edges(-1), std::out_of_range);
+  EXPECT_THROW((void)g.in_edges(9), std::out_of_range);
+}
+
+TEST(Graph, SelfLoopAllowed) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const EdgeId e = g.add_edge(a, a, 2, 2, 2);
+  EXPECT_EQ(g.edge(e).src, g.edge(e).snk);
+  EXPECT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.in_edges(a).size(), 1u);
+}
+
+TEST(Graph, PrintingListsEdges) {
+  Graph g("demo");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.add_edge(a, b, 2, 3, 1);
+  std::ostringstream os;
+  os << g;
+  const std::string text = os.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("A -(2/3,D1)-> B"), std::string::npos);
+}
+
+TEST(Graph, NameRoundTrip) {
+  Graph g("first");
+  EXPECT_EQ(g.name(), "first");
+  g.set_name("second");
+  EXPECT_EQ(g.name(), "second");
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graphs/cddat.h"
+#include "graphs/filterbank.h"
+#include "graphs/homogeneous.h"
+#include "graphs/ptolemy.h"
+#include "graphs/random_sdf.h"
+#include "graphs/satellite.h"
+#include "sdf/analysis.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+namespace {
+
+TEST(Filterbank, TwoSidedNodeCountsMatchPaper) {
+  // Paper: depth 5/3/2 two-sided banks have 188/44/20 nodes.
+  EXPECT_EQ(qmf235(5).num_actors(), 188u);
+  EXPECT_EQ(qmf12(3).num_actors(), 44u);
+  EXPECT_EQ(qmf23(2).num_actors(), 20u);
+  for (int d = 1; d <= 5; ++d) {
+    EXPECT_EQ(two_sided_filterbank(d, kRates12).num_actors(),
+              static_cast<std::size_t>(6 * (1 << d) - 4));
+  }
+}
+
+TEST(Filterbank, OneSidedNodeCountsAreLinear) {
+  for (int d = 1; d <= 6; ++d) {
+    EXPECT_EQ(one_sided_filterbank(d, kRates23).num_actors(),
+              static_cast<std::size_t>(6 * d + 2));
+  }
+}
+
+TEST(Filterbank, AllVariantsConsistentAcyclicConnected) {
+  for (int d = 1; d <= 4; ++d) {
+    for (const Graph& g : {qmf12(d), qmf23(d), qmf235(d), nqmf23(d)}) {
+      EXPECT_TRUE(is_acyclic(g)) << g.name();
+      EXPECT_TRUE(is_connected(g)) << g.name();
+      EXPECT_TRUE(analyze_consistency(g).consistent) << g.name();
+    }
+  }
+}
+
+TEST(Filterbank, AnalysisSynthesisRatesMirror) {
+  // Source and sink must fire equally often (perfect reconstruction).
+  for (const Graph& g : {qmf23(3), qmf235(2), nqmf23(4)}) {
+    const Repetitions q = repetitions_vector(g);
+    const ActorId src = *g.find_actor("src");
+    const ActorId snk = *g.find_actor("snk");
+    EXPECT_EQ(q[static_cast<std::size_t>(src)],
+              q[static_cast<std::size_t>(snk)])
+        << g.name();
+  }
+}
+
+TEST(Filterbank, DepthIncreasesSourceRate) {
+  // Each extra level multiplies the source repetition count by den/overlap
+  // structure; it must grow strictly.
+  std::int64_t prev = 0;
+  for (int d = 1; d <= 4; ++d) {
+    const Graph g = qmf23(d);
+    const Repetitions q = repetitions_vector(g);
+    const std::int64_t src_rate =
+        q[static_cast<std::size_t>(*g.find_actor("src"))];
+    EXPECT_GT(src_rate, prev);
+    prev = src_rate;
+  }
+}
+
+TEST(Filterbank, RejectsNonPositiveDepth) {
+  EXPECT_THROW(qmf12(0), std::invalid_argument);
+  EXPECT_THROW(one_sided_filterbank(-1, kRates12), std::invalid_argument);
+}
+
+TEST(Satellite, StructureMatchesPaper) {
+  const Graph g = satellite_receiver();
+  EXPECT_EQ(g.num_actors(), 22u);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(analyze_consistency(g).consistent);
+}
+
+TEST(CdDat, IsConsistentChain) {
+  const Graph g = cd_to_dat();
+  EXPECT_TRUE(chain_order(g).has_value());
+  // 147 CD frames -> 160 DAT frames per period.
+  const Repetitions q = repetitions_vector(g);
+  EXPECT_EQ(q.front(), 147);
+  EXPECT_EQ(q.back(), 160);
+}
+
+TEST(Homogeneous, MeshShape) {
+  const Graph g = homogeneous_mesh(3, 4);
+  EXPECT_EQ(g.num_actors(), 2u + 3u * 4u);
+  EXPECT_EQ(g.num_edges(), 3u * 5u);
+  EXPECT_TRUE(is_homogeneous(g));
+  EXPECT_EQ(repetitions_vector(g),
+            Repetitions(g.num_actors(), 1));
+}
+
+TEST(Homogeneous, RejectsBadParameters) {
+  EXPECT_THROW(homogeneous_mesh(0, 3), std::invalid_argument);
+  EXPECT_THROW(homogeneous_mesh(3, 0), std::invalid_argument);
+}
+
+TEST(PtolemyGraphs, AllConsistentAcyclicConnected) {
+  for (const Graph& g : {modem_16qam(), pam4_xmitrec(), block_vox(),
+                         overlap_add_fft(), phased_array()}) {
+    EXPECT_TRUE(is_acyclic(g)) << g.name();
+    EXPECT_TRUE(is_connected(g)) << g.name();
+    EXPECT_TRUE(analyze_consistency(g).consistent) << g.name();
+    EXPECT_GE(g.num_actors(), 8u) << g.name();
+  }
+}
+
+TEST(PtolemyGraphs, ModemIsMultirate) {
+  const Graph g = modem_16qam();
+  const Repetitions q = repetitions_vector(g);
+  // The bit-rate front end fires 16x as often as the symbol-rate core.
+  const std::int64_t bit_rate =
+      q[static_cast<std::size_t>(*g.find_actor("bitSrc"))];
+  const std::int64_t ber_rate =
+      q[static_cast<std::size_t>(*g.find_actor("berCheck"))];
+  EXPECT_EQ(bit_rate, 16 * ber_rate);
+}
+
+TEST(PtolemyGraphs, OverlapAddFftHasHistoryDelay) {
+  const Graph g = overlap_add_fft();
+  bool has_delay = false;
+  for (const Edge& e : g.edges()) has_delay |= (e.delay > 0);
+  EXPECT_TRUE(has_delay);
+}
+
+class RandomSdf : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSdf, AlwaysConsistentConnectedAcyclic) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  RandomSdfOptions options;
+  options.num_actors = 10 + GetParam() * 7 % 60;
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = random_sdf_graph(options, rng);
+    EXPECT_EQ(g.num_actors(),
+              static_cast<std::size_t>(options.num_actors));
+    EXPECT_TRUE(is_acyclic(g));
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(analyze_consistency(g).consistent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSdf, ::testing::Range(1, 9));
+
+TEST(RandomSdf, DensityRoughlyHonored) {
+  std::mt19937 rng(99);
+  RandomSdfOptions options;
+  options.num_actors = 60;
+  options.extra_edge_ratio = 1.0;
+  const Graph g = random_sdf_graph(options, rng);
+  // spanning (n-1) + up to n extras.
+  EXPECT_GE(g.num_edges(), 59u);
+  EXPECT_LE(g.num_edges(), 119u);
+}
+
+TEST(RandomSdf, DeterministicGivenSeed) {
+  RandomSdfOptions options;
+  std::mt19937 rng1(5), rng2(5);
+  const Graph a = random_sdf_graph(options, rng1);
+  const Graph b = random_sdf_graph(options, rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(static_cast<EdgeId>(e)).src,
+              b.edge(static_cast<EdgeId>(e)).src);
+    EXPECT_EQ(a.edge(static_cast<EdgeId>(e)).prod,
+              b.edge(static_cast<EdgeId>(e)).prod);
+  }
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,187 @@
+#include "lifetime/lifetime_extract.h"
+
+#include <gtest/gtest.h>
+
+#include "graphs/cddat.h"
+#include "sched/sdppo.h"
+#include "sched/simulator.h"
+#include "sdf/analysis.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+using testing::fig2_graph;
+
+const BufferLifetime& lifetime_of(const std::vector<BufferLifetime>& ls,
+                                  EdgeId e) {
+  for (const BufferLifetime& b : ls) {
+    if (b.edge == e) return b;
+  }
+  throw std::out_of_range("no lifetime for edge");
+}
+
+TEST(LifetimeExtract, FlatScheduleWidthsAreTnse) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  const ScheduleTree tree(g, parse_schedule(g, "(3A)(6B)(2C)"));
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  ASSERT_EQ(lifetimes.size(), 2u);
+  EXPECT_EQ(lifetime_of(lifetimes, 0).width, 30);
+  EXPECT_EQ(lifetime_of(lifetimes, 1).width, 30);
+  // A->B live from step 0 (leaf A) to end of leaf B (step 2 of 3).
+  EXPECT_EQ(lifetime_of(lifetimes, 0).interval.first_start(), 0);
+  EXPECT_EQ(lifetime_of(lifetimes, 0).interval.burst_duration(), 2);
+  // B->C live [1, 3).
+  EXPECT_EQ(lifetime_of(lifetimes, 1).interval.first_start(), 1);
+  EXPECT_EQ(lifetime_of(lifetimes, 1).interval.burst_duration(), 2);
+}
+
+TEST(LifetimeExtract, NestedLoopShrinksWidthAndAddsPeriodicity) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  // (3 (A)(2B))(2C): the A->B buffer lives inside the 3x loop.
+  const ScheduleTree tree(g, parse_schedule(g, "(3 (A)(2B))(2C)"));
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  const BufferLifetime& ab = lifetime_of(lifetimes, 0);
+  EXPECT_EQ(ab.width, 10);  // TNSE 30 / 3 iterations
+  EXPECT_TRUE(ab.interval.is_periodic());
+  EXPECT_EQ(ab.interval.counts(), (std::vector<std::int64_t>{3}));
+  EXPECT_EQ(ab.interval.periods(), (std::vector<std::int64_t>{2}));
+  EXPECT_EQ(ab.interval.first_start(), 0);
+  EXPECT_EQ(ab.interval.burst_duration(), 2);
+
+  const BufferLifetime& bc = lifetime_of(lifetimes, 1);
+  EXPECT_EQ(bc.width, 30);
+  EXPECT_FALSE(bc.interval.is_periodic());
+  // B first fires at step 1; C's leaf ends at step 7.
+  EXPECT_EQ(bc.interval.first_start(), 1);
+  EXPECT_EQ(bc.interval.burst_duration(), 6);
+}
+
+TEST(LifetimeExtract, StopTimeWalkSubtractsTrailingSiblings) {
+  // (2 (A)(2B))(2 (C)(D)) with edges A->B and A->C: the A->C buffer's lca
+  // is the root; C's last firing inside the period ends before D's leaf,
+  // so the stop time must subtract dur(D-subtree of the last iteration).
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const ActorId d = g.add_actor("D");
+  g.add_edge(a, b, 1, 1);
+  g.add_edge(a, c, 1, 1);
+  g.add_edge(c, d, 1, 1);
+  const Repetitions q{2, 2, 2, 2};
+  const Schedule s = parse_schedule(g, "(2 (A)(B))(2 (C)(D))");
+  ASSERT_TRUE(is_valid_schedule(g, q, s));
+  const ScheduleTree tree(g, s);
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  // Steps: A@0 B@1 A@2 B@3 C@4 D@5 C@6 D@7.
+  const BufferLifetime& ac = lifetime_of(lifetimes, 1);
+  EXPECT_EQ(ac.interval.first_start(), 0);
+  // Last C firing ends at step 7 (end of leaf C of the last iteration).
+  EXPECT_EQ(ac.interval.burst_duration(), 7);
+  EXPECT_FALSE(ac.interval.is_periodic());
+}
+
+TEST(LifetimeExtract, DelayEdgesPinnedToWholePeriod) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.add_edge(a, b, 1, 1, 2);
+  const Repetitions q{1, 1};
+  const ScheduleTree tree(g, parse_schedule(g, "A B"));
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  const BufferLifetime& ab = lifetimes.front();
+  EXPECT_EQ(ab.lca, kNoTreeNode);
+  EXPECT_EQ(ab.width, 3);  // 1 token per period + 2 initial
+  EXPECT_EQ(ab.interval.first_start(), 0);
+  EXPECT_EQ(ab.interval.burst_duration(), tree.total_duration());
+}
+
+TEST(LifetimeExtract, SelfLoopIsState) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  g.add_edge(a, a, 1, 1, 2);
+  const ScheduleTree tree(g, Schedule::leaf(a, 1));
+  const auto lifetimes = extract_lifetimes(g, {1}, tree);
+  EXPECT_EQ(lifetimes.front().width, 2);
+  EXPECT_EQ(lifetimes.front().lca, kNoTreeNode);
+}
+
+TEST(LifetimeExtract, DelaylessSelfLoopThrows) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  g.add_edge(a, a, 1, 1, 0);
+  const ScheduleTree tree(g, Schedule::leaf(a, 1));
+  EXPECT_THROW(extract_lifetimes(g, {1}, tree), std::invalid_argument);
+}
+
+TEST(LifetimeExtract, NonTopologicalScheduleThrows) {
+  const Graph g = fig2_graph();
+  // Valid-looking SAS with C before A: extraction must reject it for the
+  // delayless edges.
+  const Schedule s = parse_schedule(g, "(2C)(6B)(3A)");
+  const ScheduleTree tree(g, s);
+  EXPECT_THROW(extract_lifetimes(g, repetitions_vector(g), tree),
+               std::invalid_argument);
+}
+
+TEST(LifetimeExtract, WidthTimesOccurrencesCoversTnse) {
+  const Graph g = cd_to_dat();
+  const Repetitions q = repetitions_vector(g);
+  const SdppoResult opt = sdppo(g, q, *chain_order(g));
+  const ScheduleTree tree(g, opt.schedule);
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  for (const BufferLifetime& b : lifetimes) {
+    EXPECT_EQ(b.width * b.interval.occurrences(),
+              tnse(g, q, b.edge));
+  }
+}
+
+TEST(LifetimeExtract, WidthsBoundSimulatedPeaks) {
+  // The coarse model width must dominate the fine-grained simulated peak.
+  const Graph g = cd_to_dat();
+  const Repetitions q = repetitions_vector(g);
+  const SdppoResult opt = sdppo(g, q, *chain_order(g));
+  const SimulationResult sim = simulate(g, opt.schedule);
+  const ScheduleTree tree(g, opt.schedule);
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  for (const BufferLifetime& b : lifetimes) {
+    EXPECT_GE(b.width,
+              sim.max_tokens[static_cast<std::size_t>(b.edge)]);
+  }
+}
+
+TEST(LifetimesOverlap, MatchesGenericIntervalTest) {
+  const Graph g = cd_to_dat();
+  const Repetitions q = repetitions_vector(g);
+  const SdppoResult opt = sdppo(g, q, *chain_order(g));
+  const ScheduleTree tree(g, opt.schedule);
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  for (const BufferLifetime& x : lifetimes) {
+    for (const BufferLifetime& y : lifetimes) {
+      EXPECT_EQ(lifetimes_overlap(tree, x, y),
+                x.interval.overlaps(y.interval))
+          << "edges " << x.edge << " vs " << y.edge;
+    }
+  }
+}
+
+TEST(LifetimesOverlap, DisjointSubtreesNeverOverlap) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const ActorId d = g.add_actor("D");
+  g.add_edge(a, b, 1, 1);
+  g.add_edge(c, d, 1, 1);
+  const Repetitions q{2, 2, 2, 2};
+  const ScheduleTree tree(g, parse_schedule(g, "(2 (A)(B))(2 (C)(D))"));
+  const auto lifetimes = extract_lifetimes(g, q, tree);
+  EXPECT_FALSE(lifetimes_overlap(tree, lifetimes[0], lifetimes[1]));
+  EXPECT_FALSE(lifetimes[0].interval.overlaps(lifetimes[1].interval));
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,103 @@
+#include "alloc/pool_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/first_fit.h"
+#include "alloc/optimal_dsa.h"
+#include "graphs/cddat.h"
+#include "graphs/filterbank.h"
+#include "graphs/homogeneous.h"
+#include "graphs/ptolemy.h"
+#include "graphs/satellite.h"
+#include "pipeline/compile.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+TEST(PoolChecker, AcceptsPipelineAllocations) {
+  for (const Graph& g :
+       {cd_to_dat(), satellite_receiver(), qmf23(3), qmf235(2),
+        modem_16qam(), block_vox(), overlap_add_fft(),
+        homogeneous_mesh(3, 4)}) {
+    for (const OrderHeuristic order :
+         {OrderHeuristic::kApgan, OrderHeuristic::kRpmc}) {
+      CompileOptions opts;
+      opts.order = order;
+      const CompileResult res = compile(g, opts);
+      const PoolCheckResult check = check_allocation_by_execution(
+          g, res.schedule, res.lifetimes, res.allocation);
+      EXPECT_TRUE(check.ok) << g.name() << ": " << check.error;
+    }
+  }
+}
+
+TEST(PoolChecker, AcceptsEveryFirstFitOrder) {
+  const Graph g = satellite_receiver();
+  const CompileResult res = compile(g);
+  for (const FirstFitOrder order :
+       {FirstFitOrder::kByDuration, FirstFitOrder::kByStartTime,
+        FirstFitOrder::kByWidth, FirstFitOrder::kInputOrder}) {
+    const Allocation alloc = first_fit(res.wig, res.lifetimes, order);
+    const PoolCheckResult check = check_allocation_by_execution(
+        g, res.schedule, res.lifetimes, alloc);
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+TEST(PoolChecker, AcceptsBestFit) {
+  const Graph g = qmf12(3);
+  const CompileResult res = compile(g);
+  const Allocation alloc =
+      best_fit(res.wig, res.lifetimes, FirstFitOrder::kByDuration);
+  const PoolCheckResult check = check_allocation_by_execution(
+      g, res.schedule, res.lifetimes, alloc);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(PoolChecker, DetectsOverlappingPlacement) {
+  // Force two time-overlapping buffers onto the same address.
+  const Graph g = testing::fig2_graph();
+  const CompileResult res = compile(g);
+  Allocation bad = res.allocation;
+  for (auto& offset : bad.offsets) offset = 0;  // everything at 0
+  bad.total_size = 64;
+  const PoolCheckResult check = check_allocation_by_execution(
+      g, res.schedule, res.lifetimes, bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("overwrite"), std::string::npos);
+}
+
+TEST(PoolChecker, DetectsUndersizedWidth) {
+  const Graph g = testing::fig2_graph();
+  const CompileResult res = compile(g);
+  auto lifetimes = res.lifetimes;
+  lifetimes[0].width = 1;  // buffer too small: wraps onto live tokens
+  const PoolCheckResult check = check_allocation_by_execution(
+      g, res.schedule, lifetimes, res.allocation);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(PoolChecker, DelayEdgesSteadyState) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.add_edge(a, b, 2, 2, 2);
+  const CompileResult res = compile(g);
+  const PoolCheckResult check = check_allocation_by_execution(
+      g, res.schedule, res.lifetimes, res.allocation);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(PoolChecker, RejectsMismatchedInputs) {
+  const Graph g = testing::fig2_graph();
+  const CompileResult res = compile(g);
+  Allocation wrong;
+  wrong.offsets = {0};
+  const PoolCheckResult check = check_allocation_by_execution(
+      g, res.schedule, res.lifetimes, wrong);
+  EXPECT_FALSE(check.ok);
+}
+
+}  // namespace
+}  // namespace sdf

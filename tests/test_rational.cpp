@@ -1,0 +1,86 @@
+#include "sdf/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdf {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSign) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorCanonicalizesDenominator) {
+  const Rational r(0, 17);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+  EXPECT_EQ(Rational(0) * Rational(5, 7), Rational(0));
+  EXPECT_EQ(Rational(-2, 5) * Rational(5, 2), Rational(-1));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 6) + Rational(1, 3), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(3, 4) - Rational(1, 4), Rational(1, 2));
+}
+
+TEST(Rational, IsInteger) {
+  EXPECT_TRUE(Rational(8, 4).is_integer());
+  EXPECT_FALSE(Rational(5, 4).is_integer());
+}
+
+TEST(Rational, EqualityIsCanonical) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, CrossReductionAvoidsSpuriousOverflow) {
+  // (k/3) * (3/k) with huge k must not overflow thanks to cross-reduction.
+  const std::int64_t k = (1ll << 61);
+  EXPECT_EQ(Rational(k, 3) * Rational(3, k), Rational(1));
+}
+
+TEST(Rational, MultiplicationOverflowThrows) {
+  const std::int64_t big = (1ll << 62);
+  EXPECT_THROW(Rational(big, 1) * Rational(big, 1), std::overflow_error);
+}
+
+TEST(Rational, AdditionOverflowThrows) {
+  const std::int64_t big = (1ll << 62);
+  EXPECT_THROW(Rational(big, 1) + Rational(big * 0 + big, 1),
+               std::overflow_error);
+}
+
+}  // namespace
+}  // namespace sdf

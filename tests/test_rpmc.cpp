@@ -1,0 +1,158 @@
+#include "sched/rpmc.h"
+
+#include <gtest/gtest.h>
+
+#include "graphs/cddat.h"
+#include "graphs/filterbank.h"
+#include "graphs/satellite.h"
+#include "sched/sdppo.h"
+#include "sched/simulator.h"
+#include "sdf/analysis.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+TEST(Rpmc, OrderIsTopological) {
+  for (const Graph& g : {cd_to_dat(), satellite_receiver(), qmf12(3)}) {
+    const Repetitions q = repetitions_vector(g);
+    const RpmcResult r = rpmc(g, q);
+    EXPECT_TRUE(is_topological_order(g, r.lexorder)) << g.name();
+    EXPECT_TRUE(is_valid_schedule(g, q, r.flat)) << g.name();
+  }
+}
+
+TEST(Rpmc, ChainOrderIsTheChain) {
+  const Graph g = cd_to_dat();
+  const Repetitions q = repetitions_vector(g);
+  const RpmcResult r = rpmc(g, q);
+  EXPECT_EQ(r.lexorder, *chain_order(g));
+}
+
+TEST(Rpmc, PrefersCheapCut) {
+  // src fans into an expensive chain and a cheap chain that rejoin; the
+  // recursion must never put the two sides of a heavy edge far apart.
+  // Minimal check: resulting order is topological and the flat SAS valid.
+  Graph g;
+  const ActorId s = g.add_actor("S");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId t = g.add_actor("T");
+  g.add_edge(s, a, 10, 1);  // heavy: q(A) = 10 q(S)
+  g.add_edge(s, b, 1, 1);
+  g.add_edge(a, t, 1, 10);
+  g.add_edge(b, t, 1, 1);
+  const Repetitions q = repetitions_vector(g);
+  const RpmcResult r = rpmc(g, q);
+  EXPECT_TRUE(is_topological_order(g, r.lexorder));
+}
+
+TEST(Rpmc, SingleActor) {
+  Graph g;
+  g.add_actor("A");
+  const RpmcResult r = rpmc(g, {3});
+  EXPECT_EQ(r.lexorder, (std::vector<ActorId>{0}));
+  EXPECT_EQ(r.flat.firings(0), 3);
+}
+
+TEST(Rpmc, ThrowsOnCycle) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, b);
+  g.connect(b, a);
+  EXPECT_THROW(rpmc(g, {1, 1}), std::invalid_argument);
+}
+
+TEST(Rpmc, ThrowsOnEmptyGraph) { EXPECT_THROW(rpmc(Graph{}, {}), std::invalid_argument); }
+
+TEST(Rpmc, DisconnectedGraphCovered) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.add_edge(a, b, 2, 3);
+  // c isolated.
+  (void)c;
+  const Repetitions q = repetitions_vector(g);
+  const RpmcResult r = rpmc(g, q);
+  EXPECT_EQ(r.lexorder.size(), 3u);
+  EXPECT_TRUE(is_topological_order(g, r.lexorder));
+}
+
+TEST(Rpmc, BalanceBoundsRespectedOnMesh) {
+  // On a 2x4 homogeneous mesh every prefix cut is legal with equal cost 2
+  // (or less at component boundaries); recursion must still terminate and
+  // cover all actors exactly once.
+  Graph g;
+  std::vector<ActorId> actors;
+  const ActorId src = g.add_actor("src");
+  const ActorId snk = g.add_actor("snk");
+  for (int c = 0; c < 2; ++c) {
+    ActorId prev = src;
+    for (int i = 0; i < 4; ++i) {
+      const ActorId x = g.add_actor("x" + std::to_string(c * 4 + i));
+      g.connect(prev, x);
+      prev = x;
+    }
+    g.connect(prev, snk);
+  }
+  const Repetitions q = repetitions_vector(g);
+  const RpmcResult r = rpmc(g, q);
+  EXPECT_TRUE(is_topological_order(g, r.lexorder));
+  EXPECT_TRUE(is_valid_schedule(g, q, r.flat));
+}
+
+TEST(Rpmc, RefinementNeverBreaksLegality) {
+  // Dense-ish random-looking DAG; every recursion level must keep all
+  // crossing edges oriented left -> right (equivalent: order topological).
+  Graph g;
+  std::vector<ActorId> v;
+  for (int i = 0; i < 12; ++i) v.push_back(g.add_actor("n" + std::to_string(i)));
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i + 1; j < 12; j += (i % 3) + 2) {
+      g.add_edge(v[static_cast<std::size_t>(i)],
+                 v[static_cast<std::size_t>(j)], 1, 1);
+    }
+  }
+  const Repetitions q = repetitions_vector(g);
+  const RpmcResult r = rpmc(g, q);
+  EXPECT_TRUE(is_topological_order(g, r.lexorder));
+}
+
+TEST(Rpmc, MultistartNeverWorseOnEstimate) {
+  for (const Graph& g : {cd_to_dat(), satellite_receiver(), qmf12(4)}) {
+    const Repetitions q = repetitions_vector(g);
+    const RpmcResult single = rpmc(g, q);
+    const RpmcResult multi = rpmc_multistart(g, q);
+    EXPECT_TRUE(is_topological_order(g, multi.lexorder)) << g.name();
+    EXPECT_LE(sdppo(g, q, multi.lexorder).estimate,
+              sdppo(g, q, single.lexorder).estimate)
+        << g.name();
+  }
+  EXPECT_THROW(rpmc_multistart(cd_to_dat(), {147, 147, 98, 28, 32, 160}, {}),
+               std::invalid_argument);
+}
+
+TEST(Rpmc, MultistartImprovesQmf125d) {
+  // The motivating case: denominator 5 finds a dramatically better cut
+  // structure than the default 3 on the depth-5 half-band bank.
+  const Graph g = qmf12(5);
+  const Repetitions q = repetitions_vector(g);
+  const RpmcResult multi = rpmc_multistart(g, q);
+  EXPECT_LT(sdppo(g, q, multi.lexorder).estimate,
+            sdppo(g, q, rpmc(g, q).lexorder).estimate);
+}
+
+TEST(Rpmc, OptionsControlBalance) {
+  const Graph g = satellite_receiver();
+  const Repetitions q = repetitions_vector(g);
+  RpmcOptions opts;
+  opts.balance_denominator = 2;
+  opts.refine_passes = 1;
+  const RpmcResult r = rpmc(g, q, opts);
+  EXPECT_TRUE(is_topological_order(g, r.lexorder));
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,114 @@
+#include "sched/sdppo.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/dppo.h"
+#include "sched/simulator.h"
+#include "sdf/analysis.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+TEST(Sdppo, EstimateUsesMaxOfHalves) {
+  // A -(2/1)-> B -(1/3)-> C, q = (3,6,2): crossing costs are 6 for both
+  // splits; EQ 5 takes max of sub-costs instead of their sum:
+  //   split at A: 6/1 + max(0, b[B,C]=6... ) -> evaluate exactly.
+  const Graph g = testing::fig1_graph();
+  const Repetitions q = repetitions_vector(g);
+  const SdppoResult r = sdppo(g, q, {0, 1, 2});
+  // b[B,C] = 6 (TNSE/gcd(6,2)=3 -> 6/... gcd(6,2)=2, TNSE(B,C)=6 -> 3).
+  // Exhaustively: b[A,B] = TNSE(A,B)/gcd(3,6) = 6/3 = 2.
+  //   split after A: max(0, b[B,C]=3) + 6/gcd(3,6,2)=6 -> 9.
+  //   split after B: max(b[A,B]=2, 0) + 6/1 = 8.
+  EXPECT_EQ(r.estimate, 8);
+  EXPECT_TRUE(is_valid_schedule(g, q, r.schedule));
+}
+
+TEST(Sdppo, EstimateNeverExceedsDppoCost) {
+  // max(a,b) <= a+b with identical crossing terms, cell by cell.
+  for (const Graph& g :
+       {testing::fig1_graph(), testing::fig2_graph(),
+        testing::chain({{2, 3}, {3, 2}, {1, 4}}),
+        testing::chain({{5, 3}, {2, 2}, {4, 1}, {1, 6}})}) {
+    const Repetitions q = repetitions_vector(g);
+    const auto order = *topological_sort(g);
+    EXPECT_LE(sdppo(g, q, order).estimate, dppo(g, q, order).cost)
+        << g.name();
+  }
+}
+
+TEST(Sdppo, SchedulesAreValidSas) {
+  for (const Graph& g :
+       {testing::fig1_graph(), testing::fig2_graph(),
+        testing::chain({{2, 3}, {3, 2}, {1, 4}, {2, 1}})}) {
+    const Repetitions q = repetitions_vector(g);
+    const SdppoResult r = sdppo(g, q, *topological_sort(g));
+    EXPECT_TRUE(r.schedule.is_single_appearance(g.num_actors()));
+    EXPECT_TRUE(is_valid_schedule(g, q, r.schedule));
+  }
+}
+
+TEST(Sdppo, FactoringHeuristicSkipsEdgelessSplits) {
+  // Fig. 7 situation: two parallel two-actor chains with no cross edges.
+  // q(all) share a factor, but the top-level split has no internal edges,
+  // so the heuristic must NOT factor the outer loop.
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  const ActorId d = g.add_actor("D");
+  g.add_edge(a, b, 1, 1);
+  g.add_edge(c, d, 1, 1);
+  Repetitions q{2, 2, 2, 2};  // common factor 2 everywhere
+  const SdppoResult r = sdppo(g, q, {a, b, c, d});
+  // The outer split (A,B) | (C,D) has no internal edges: schedule must be
+  // (2A)(2B)(2C)(2D)-shaped at top level, not (2 (A)(B)(C)(D)).
+  ASSERT_FALSE(r.schedule.is_leaf());
+  EXPECT_EQ(r.schedule.count(), 1);
+  // The inner pairs DO have internal edges and factor by gcd 2.
+  const std::string text = r.schedule.to_string(g);
+  EXPECT_EQ(text, "(2 (A)(B))(2 (C)(D))");
+}
+
+TEST(Sdppo, SharedOptimalDiffersFromNonSharedOptimal) {
+  // Fig. 4's point: the two DPs can legitimately choose different splits.
+  // On this chain the EQ 5 estimate strictly beats applying EQ 5 cost
+  // accounting to the DPPO schedule's splits.
+  const Graph g = testing::chain({{4, 1}, {1, 4}, {2, 1}});
+  const Repetitions q = repetitions_vector(g);
+  const auto order = *chain_order(g);
+  const SdppoResult shared = sdppo(g, q, order);
+  const DppoResult nonshared = dppo(g, q, order);
+  EXPECT_TRUE(is_valid_schedule(g, q, shared.schedule));
+  EXPECT_TRUE(is_valid_schedule(g, q, nonshared.schedule));
+  EXPECT_LE(shared.estimate, nonshared.cost);
+}
+
+TEST(Sdppo, RejectsNonTopologicalOrder) {
+  const Graph g = testing::fig2_graph();
+  EXPECT_THROW(sdppo(g, repetitions_vector(g), {2, 1, 0}),
+               std::invalid_argument);
+}
+
+TEST(Sdppo, SingleActor) {
+  Graph g;
+  g.add_actor("A");
+  const SdppoResult r = sdppo(g, {1}, {0});
+  EXPECT_EQ(r.estimate, 0);
+}
+
+TEST(Sdppo, HomogeneousChainEstimate) {
+  // Homogeneous chain of 5: every buffer has TNSE 1; halves overlay, so
+  // the estimate stays far below the non-shared sum of 4.
+  const Graph g = testing::chain({{1, 1}, {1, 1}, {1, 1}, {1, 1}});
+  const Repetitions q = repetitions_vector(g);
+  const auto order = *chain_order(g);
+  const SdppoResult r = sdppo(g, q, order);
+  const DppoResult d = dppo(g, q, order);
+  EXPECT_EQ(d.cost, 4);
+  EXPECT_LT(r.estimate, d.cost);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,131 @@
+#include "sched/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+using testing::fig1_graph;
+using testing::fig2_graph;
+
+TEST(Simulator, Fig1MaxTokensS1) {
+  // S1 = (3A)(6B)(2C): max_tokens(A->B) = 7 with the unit delay, 6 without.
+  const Graph g = fig1_graph(/*with_delay=*/true);
+  const Schedule s = parse_schedule(g, "(3A)(6B)(2C)");
+  const SimulationResult r = simulate(g, s);
+  ASSERT_TRUE(r.valid) << r.error;
+  EXPECT_EQ(r.max_tokens[0], 7);  // paper: max_tokens((A,B), S1) = 7
+  EXPECT_EQ(r.max_tokens[1], 6);
+  EXPECT_EQ(r.buffer_memory, 13);  // paper: bufmem(S1) = 13
+}
+
+TEST(Simulator, Fig1MaxTokensS2) {
+  // S2 = (3A(2B))(2C): max_tokens(A->B) = 3.
+  const Graph g = fig1_graph(/*with_delay=*/true);
+  const Schedule s = parse_schedule(g, "(3 (A)(2B))(2C)");
+  const SimulationResult r = simulate(g, s);
+  ASSERT_TRUE(r.valid) << r.error;
+  EXPECT_EQ(r.max_tokens[0], 3);
+  EXPECT_EQ(r.max_tokens[1], 6);
+  EXPECT_EQ(r.buffer_memory, 9);  // paper: bufmem(S2) = 9
+}
+
+TEST(Simulator, Fig2ScheduleBufferMemories) {
+  // Paper Sec. 3 quotes 50/40/60/50 for the four Fig. 2(b) schedules; the
+  // two single appearance schedules (2 and 3) are reproducible exactly:
+  const Graph g = fig2_graph();
+  EXPECT_EQ(simulate(g, parse_schedule(g, "(3 (A)(2B))(2C)")).buffer_memory,
+            40);
+  EXPECT_EQ(simulate(g, parse_schedule(g, "(3A)(6B)(2C)")).buffer_memory,
+            60);
+}
+
+TEST(Simulator, DetectsUnderflow) {
+  const Graph g = fig2_graph();
+  const Schedule s = parse_schedule(g, "(6B)(3A)(2C)");  // B before A
+  const SimulationResult r = simulate(g, s);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("B"), std::string::npos);
+}
+
+TEST(Simulator, DelayEnablesEarlyFiring) {
+  // B can fire once before A thanks to 3 initial tokens.
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.add_edge(a, b, 3, 3, 3);
+  const Schedule s = parse_schedule(g, "B A");
+  const SimulationResult r = simulate(g, s);
+  EXPECT_TRUE(r.valid) << r.error;
+  EXPECT_EQ(r.max_tokens[0], 3);
+}
+
+TEST(Simulator, CountsFirings) {
+  const Graph g = fig2_graph();
+  const SimulationResult r = simulate(g, parse_schedule(g, "(3A)(6B)(2C)"));
+  EXPECT_EQ(r.firings, 11);
+}
+
+TEST(IsValidSchedule, AcceptsMinimalPeriod) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  EXPECT_TRUE(is_valid_schedule(g, q, parse_schedule(g, "(3A)(6B)(2C)")));
+  EXPECT_TRUE(is_valid_schedule(g, q, parse_schedule(g, "(3 (A)(2B))(2C)")));
+}
+
+TEST(IsValidSchedule, RejectsWrongFiringCounts) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  EXPECT_FALSE(is_valid_schedule(g, q, parse_schedule(g, "(6A)(12B)(4C)")));
+  EXPECT_FALSE(is_valid_schedule(g, q, parse_schedule(g, "(3A)(6B)")));
+}
+
+TEST(IsValidSchedule, RejectsUnderflowingOrder) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  EXPECT_FALSE(is_valid_schedule(g, q, parse_schedule(g, "(2C)(6B)(3A)")));
+}
+
+TEST(TraceTokens, RecordsEveryFiring) {
+  const Graph g = fig2_graph();
+  const TokenTrace t = trace_tokens(g, parse_schedule(g, "(3 (A)(2B))(2C)"));
+  ASSERT_TRUE(t.valid);
+  EXPECT_EQ(t.firing_seq.size(), 11u);
+  EXPECT_EQ(t.counts.size(), 12u);  // initial state + one per firing
+  // After the first A: 10 tokens on (A,B).
+  EXPECT_EQ(t.counts[1][0], 10);
+  // Final state: all edges drained.
+  EXPECT_EQ(t.counts.back()[0], 0);
+  EXPECT_EQ(t.counts.back()[1], 0);
+}
+
+TEST(TraceTokens, MaxLiveTokensFineModel) {
+  const Graph g = fig2_graph();
+  // Token conservation through B keeps every SAS at a peak of 30 here
+  // (all of A's tokens are in flight until the first C), but a non-SAS
+  // schedule that interleaves C strictly reduces the fine-model peak —
+  // the Sec. 11.1.3 argument for n-appearance/dynamic schedules.
+  const std::int64_t flat =
+      max_live_tokens(trace_tokens(g, parse_schedule(g, "(3A)(6B)(2C)")));
+  const std::int64_t nested =
+      max_live_tokens(trace_tokens(g, parse_schedule(g, "(3 (A)(2B))(2C)")));
+  const std::int64_t interleaved =
+      max_live_tokens(trace_tokens(g, parse_schedule(g, "A 2B A B C A 3B C")));
+  EXPECT_EQ(flat, 30);
+  EXPECT_LE(nested, flat);
+  EXPECT_LT(interleaved, flat);
+  EXPECT_EQ(interleaved, 20);
+}
+
+TEST(TraceTokens, RespectsFiringLimit) {
+  const Graph g = fig2_graph();
+  const Schedule big = Schedule::loop(
+      1 << 21, {parse_schedule(g, "(3A)(6B)(2C)")});
+  const TokenTrace t = trace_tokens(g, big, /*firing_limit=*/100);
+  EXPECT_FALSE(t.valid);
+}
+
+}  // namespace
+}  // namespace sdf

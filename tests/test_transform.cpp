@@ -1,0 +1,139 @@
+#include "sdf/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "graphs/cddat.h"
+#include "sched/simulator.h"
+#include "sdf/analysis.h"
+#include "test_util.h"
+
+namespace sdf {
+namespace {
+
+using testing::fig2_graph;
+
+TEST(HsdfExpansion, NodeCountsAreSumOfRepetitions) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);  // (3, 6, 2)
+  const HsdfExpansion x = expand_to_homogeneous(g, q);
+  EXPECT_EQ(x.graph.num_actors(), 11u);
+  EXPECT_TRUE(is_homogeneous(x.graph));
+  EXPECT_EQ(x.node_of[0].size(), 3u);
+  EXPECT_EQ(x.node_of[1].size(), 6u);
+  EXPECT_EQ(x.node_of[2].size(), 2u);
+  EXPECT_EQ(x.actor_of.size(), 11u);
+  EXPECT_EQ(x.firing_of[1], 1);
+}
+
+TEST(HsdfExpansion, ExpansionIsConsistentWithUnitRepetitions) {
+  const Graph g = cd_to_dat();
+  const Repetitions q = repetitions_vector(g);
+  const HsdfExpansion x = expand_to_homogeneous(g, q);
+  EXPECT_EQ(repetitions_vector(x.graph),
+            Repetitions(x.graph.num_actors(), 1));
+}
+
+TEST(HsdfExpansion, DelaylessExpansionIsAcyclicAndSchedulable) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  const HsdfExpansion x = expand_to_homogeneous(g, q);
+  // Delayless SDF -> every dependence inside one period -> acyclic HSDF
+  // with zero-delay edges only.
+  bool any_delay = false;
+  for (const Edge& e : x.graph.edges()) any_delay |= (e.delay != 0);
+  EXPECT_FALSE(any_delay);
+  EXPECT_TRUE(is_acyclic(x.graph));
+}
+
+TEST(HsdfExpansion, PrecedenceMatchesTokenFlow) {
+  // fig2: A -(10/5)-> B: firing j of A produces tokens 10j..10j+9;
+  // firing k of B consumes 5k..5k+4 -> B_k depends on A_floor(k/2).
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  const HsdfExpansion x = expand_to_homogeneous(g, q);
+  for (std::int64_t k = 0; k < 6; ++k) {
+    const ActorId bk = x.node_of[1][static_cast<std::size_t>(k)];
+    const ActorId expect_src = x.node_of[0][static_cast<std::size_t>(k / 2)];
+    bool found = false;
+    for (EdgeId e : x.graph.in_edges(bk)) {
+      found |= (x.graph.edge(e).src == expect_src);
+    }
+    EXPECT_TRUE(found) << "B_" << k;
+  }
+}
+
+TEST(HsdfExpansion, DelayBecomesCrossPeriodEdge) {
+  // A -(1/1, 1D)-> B with q = (1,1): B_0 consumes the initial token
+  // (produced by A_0 of the previous period): edge with delay 1.
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.add_edge(a, b, 1, 1, 1);
+  const HsdfExpansion x = expand_to_homogeneous(g, {1, 1});
+  ASSERT_EQ(x.graph.num_edges(), 1u);
+  EXPECT_EQ(x.graph.edge(0).delay, 1);
+}
+
+TEST(HsdfExpansion, HomogeneousGraphExpandsToItself) {
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.connect(a, b);
+  const HsdfExpansion x = expand_to_homogeneous(g, {1, 1});
+  EXPECT_EQ(x.graph.num_actors(), 2u);
+  EXPECT_EQ(x.graph.num_edges(), 1u);
+}
+
+TEST(HsdfExpansion, GuardsAgainstExplosion) {
+  const Graph g = cd_to_dat();  // sum(q) = 612
+  EXPECT_THROW(expand_to_homogeneous(g, repetitions_vector(g), 100),
+               std::length_error);
+}
+
+TEST(ClusterSubgraph, BasicPairCluster) {
+  const Graph g = fig2_graph();  // A -> B -> C, q = (3, 6, 2)
+  const Repetitions q = repetitions_vector(g);
+  const ClusteredGraph c = cluster_subgraph(g, q, {0, 1});  // cluster A,B
+  EXPECT_EQ(c.graph.num_actors(), 2u);  // C + supernode
+  EXPECT_EQ(c.supernode_repetitions, 3);  // gcd(3, 6)
+  // Boundary edge B->C: prod scales by q(B)/gcd = 2 -> prod 10.
+  ASSERT_EQ(c.graph.num_edges(), 1u);
+  EXPECT_EQ(c.graph.edge(0).prod, 10);
+  EXPECT_EQ(c.graph.edge(0).cns, 15);
+  // The clustered graph stays consistent with q(super) = 3, q(C) = 2.
+  const Repetitions qc = repetitions_vector(c.graph);
+  EXPECT_EQ(qc[static_cast<std::size_t>(c.supernode)] * 10,
+            qc[static_cast<std::size_t>(c.image_of[2])] * 15);
+}
+
+TEST(ClusterSubgraph, RejectsCycleCreation) {
+  // A -> B -> C and A -> C: clustering {A, C} creates a cycle through B.
+  Graph g;
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.connect(a, b);
+  g.connect(b, c);
+  g.connect(a, c);
+  EXPECT_THROW(cluster_subgraph(g, {1, 1, 1}, {a, c}),
+               std::invalid_argument);
+}
+
+TEST(ClusterSubgraph, ValidatesInputs) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  EXPECT_THROW(cluster_subgraph(g, q, {}), std::invalid_argument);
+  EXPECT_THROW(cluster_subgraph(g, q, {9}), std::invalid_argument);
+}
+
+TEST(ClusterSubgraph, WholeGraphClusterHasNoEdges) {
+  const Graph g = fig2_graph();
+  const Repetitions q = repetitions_vector(g);
+  const ClusteredGraph c = cluster_subgraph(g, q, {0, 1, 2});
+  EXPECT_EQ(c.graph.num_actors(), 1u);
+  EXPECT_EQ(c.graph.num_edges(), 0u);
+  EXPECT_EQ(c.supernode_repetitions, 1);  // gcd(3,6,2)
+}
+
+}  // namespace
+}  // namespace sdf

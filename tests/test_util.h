@@ -1,0 +1,83 @@
+// Shared helpers for the sdfmem test suite: the paper's figure graphs and
+// oracles used by several test files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sdf/graph.h"
+#include "sdf/repetitions.h"
+
+namespace sdf::testing {
+
+/// Fig. 1: A -(2/1,D1)-> B -(1/3)-> C  with one delay on (A,B).
+/// (The delay is omitted when `with_delay` is false; the paper's bufmem
+/// examples for Fig. 1 use the delayless rates.)
+inline Graph fig1_graph(bool with_delay = false) {
+  Graph g("fig1");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.add_edge(a, b, 2, 1, with_delay ? 1 : 0);
+  g.add_edge(b, c, 1, 3);
+  return g;
+}
+
+/// Fig. 2: a three-actor chain with q = (3, 6, 2) whose four schedules
+/// cost 50/40/60/50 (Sec. 3). Those costs pin the rates:
+/// flat (3A)(6B)(2C) = 60 and nested (3A(2B))(2C) = 40 imply
+/// TNSE(A,B) = TNSE(B,C) = 30, i.e. A -(10/5)-> B -(5/15)-> C.
+inline Graph fig2_graph() {
+  Graph g("fig2");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  const ActorId c = g.add_actor("C");
+  g.add_edge(a, b, 10, 5);   // q(A)*10 == q(B)*5  -> 30 == 30
+  g.add_edge(b, c, 5, 15);   // q(B)*5 == q(C)*15  -> 30 == 30
+  return g;
+}
+
+/// A simple two-actor graph with chosen rates.
+inline Graph two_actor(std::int64_t prod, std::int64_t cns,
+                       std::int64_t delay = 0) {
+  Graph g("two");
+  const ActorId a = g.add_actor("A");
+  const ActorId b = g.add_actor("B");
+  g.add_edge(a, b, prod, cns, delay);
+  return g;
+}
+
+/// Chain x0 -> x1 -> ... with the given (prod, cns) per edge.
+inline Graph chain(const std::vector<std::pair<std::int64_t, std::int64_t>>&
+                       rates) {
+  Graph g("chain");
+  ActorId prev = g.add_actor("x0");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const ActorId cur = g.add_actor("x" + std::to_string(i + 1));
+    g.add_edge(prev, cur, rates[i].first, rates[i].second);
+    prev = cur;
+  }
+  return g;
+}
+
+/// Walks a schedule in execution order; calls `on_step(leaf_index)` before
+/// each leaf invocation and `fire(actor, count)` for its firings. Mirrors
+/// the schedule-tree time base (one leaf invocation = one step).
+template <typename OnLeaf>
+void walk_leaf_steps(const Schedule& s, OnLeaf&& on_leaf) {
+  std::int64_t step = 0;
+  auto walk = [&](auto&& self, const Schedule& node) -> void {
+    for (std::int64_t i = 0; i < node.count(); ++i) {
+      if (node.is_leaf()) {
+        on_leaf(step, node.actor(), node.count());
+        ++step;
+        return;  // leaf counts are one step regardless of residual factor
+      }
+      for (const Schedule& child : node.body()) self(self, child);
+    }
+  };
+  walk(walk, s);
+}
+
+}  // namespace sdf::testing
