@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nappearance.dir/ablation_nappearance.cpp.o"
+  "CMakeFiles/ablation_nappearance.dir/ablation_nappearance.cpp.o.d"
+  "ablation_nappearance"
+  "ablation_nappearance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nappearance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

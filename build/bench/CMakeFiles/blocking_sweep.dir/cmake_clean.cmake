@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_sweep.dir/blocking_sweep.cpp.o"
+  "CMakeFiles/blocking_sweep.dir/blocking_sweep.cpp.o.d"
+  "blocking_sweep"
+  "blocking_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

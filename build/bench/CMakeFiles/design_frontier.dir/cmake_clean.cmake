@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_frontier.dir/design_frontier.cpp.o"
+  "CMakeFiles/design_frontier.dir/design_frontier.cpp.o.d"
+  "design_frontier"
+  "design_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_vs_static.dir/dynamic_vs_static.cpp.o"
+  "CMakeFiles/dynamic_vs_static.dir/dynamic_vs_static.cpp.o.d"
+  "dynamic_vs_static"
+  "dynamic_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_improvement.dir/fig25_improvement.cpp.o"
+  "CMakeFiles/fig25_improvement.dir/fig25_improvement.cpp.o.d"
+  "fig25_improvement"
+  "fig25_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_random.dir/fig27_random.cpp.o"
+  "CMakeFiles/fig27_random.dir/fig27_random.cpp.o.d"
+  "fig27_random"
+  "fig27_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_granularity.dir/fig3_granularity.cpp.o"
+  "CMakeFiles/fig3_granularity.dir/fig3_granularity.cpp.o.d"
+  "fig3_granularity"
+  "fig3_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

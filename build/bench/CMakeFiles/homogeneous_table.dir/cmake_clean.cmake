@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homogeneous_table.dir/homogeneous_table.cpp.o"
+  "CMakeFiles/homogeneous_table.dir/homogeneous_table.cpp.o.d"
+  "homogeneous_table"
+  "homogeneous_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homogeneous_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_buffering_cddat.dir/io_buffering_cddat.cpp.o"
+  "CMakeFiles/io_buffering_cddat.dir/io_buffering_cddat.cpp.o.d"
+  "io_buffering_cddat"
+  "io_buffering_cddat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_buffering_cddat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

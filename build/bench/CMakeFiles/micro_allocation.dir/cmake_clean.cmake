@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_allocation.dir/micro_allocation.cpp.o"
+  "CMakeFiles/micro_allocation.dir/micro_allocation.cpp.o.d"
+  "micro_allocation"
+  "micro_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

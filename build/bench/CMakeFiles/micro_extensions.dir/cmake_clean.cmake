@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_extensions.dir/micro_extensions.cpp.o"
+  "CMakeFiles/micro_extensions.dir/micro_extensions.cpp.o.d"
+  "micro_extensions"
+  "micro_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

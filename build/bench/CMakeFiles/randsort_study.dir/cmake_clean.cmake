@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randsort_study.dir/randsort_study.cpp.o"
+  "CMakeFiles/randsort_study.dir/randsort_study.cpp.o.d"
+  "randsort_study"
+  "randsort_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randsort_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdppo_vs_dppo.dir/sdppo_vs_dppo.cpp.o"
+  "CMakeFiles/sdppo_vs_dppo.dir/sdppo_vs_dppo.cpp.o.d"
+  "sdppo_vs_dppo"
+  "sdppo_vs_dppo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdppo_vs_dppo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdppo_vs_dppo.
+# This may be replaced when dependencies are built.

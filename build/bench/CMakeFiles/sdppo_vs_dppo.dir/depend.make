@@ -1,0 +1,2 @@
+# Empty dependencies file for sdppo_vs_dppo.
+# This may be replaced when dependencies are built.

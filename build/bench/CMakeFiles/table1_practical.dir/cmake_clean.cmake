@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_practical.dir/table1_practical.cpp.o"
+  "CMakeFiles/table1_practical.dir/table1_practical.cpp.o.d"
+  "table1_practical"
+  "table1_practical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_practical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

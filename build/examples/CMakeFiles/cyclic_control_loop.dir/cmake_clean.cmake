@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_control_loop.dir/cyclic_control_loop.cpp.o"
+  "CMakeFiles/cyclic_control_loop.dir/cyclic_control_loop.cpp.o.d"
+  "cyclic_control_loop"
+  "cyclic_control_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_control_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

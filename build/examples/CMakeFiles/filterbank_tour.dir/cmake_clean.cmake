@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filterbank_tour.dir/filterbank_tour.cpp.o"
+  "CMakeFiles/filterbank_tour.dir/filterbank_tour.cpp.o.d"
+  "filterbank_tour"
+  "filterbank_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filterbank_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_regularity.dir/fir_regularity.cpp.o"
+  "CMakeFiles/fir_regularity.dir/fir_regularity.cpp.o.d"
+  "fir_regularity"
+  "fir_regularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_regularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homogeneous_sharing.dir/homogeneous_sharing.cpp.o"
+  "CMakeFiles/homogeneous_sharing.dir/homogeneous_sharing.cpp.o.d"
+  "homogeneous_sharing"
+  "homogeneous_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homogeneous_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_receiver.dir/satellite_receiver.cpp.o"
+  "CMakeFiles/satellite_receiver.dir/satellite_receiver.cpp.o.d"
+  "satellite_receiver"
+  "satellite_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

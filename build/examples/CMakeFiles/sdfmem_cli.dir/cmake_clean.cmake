@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfmem_cli.dir/sdfmem_cli.cpp.o"
+  "CMakeFiles/sdfmem_cli.dir/sdfmem_cli.cpp.o.d"
+  "sdfmem_cli"
+  "sdfmem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfmem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

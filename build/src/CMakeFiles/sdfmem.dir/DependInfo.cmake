@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation.cpp" "src/CMakeFiles/sdfmem.dir/alloc/allocation.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/alloc/allocation.cpp.o.d"
+  "/root/repo/src/alloc/clique.cpp" "src/CMakeFiles/sdfmem.dir/alloc/clique.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/alloc/clique.cpp.o.d"
+  "/root/repo/src/alloc/first_fit.cpp" "src/CMakeFiles/sdfmem.dir/alloc/first_fit.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/alloc/first_fit.cpp.o.d"
+  "/root/repo/src/alloc/intersection_graph.cpp" "src/CMakeFiles/sdfmem.dir/alloc/intersection_graph.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/alloc/intersection_graph.cpp.o.d"
+  "/root/repo/src/alloc/optimal_dsa.cpp" "src/CMakeFiles/sdfmem.dir/alloc/optimal_dsa.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/alloc/optimal_dsa.cpp.o.d"
+  "/root/repo/src/alloc/pool_checker.cpp" "src/CMakeFiles/sdfmem.dir/alloc/pool_checker.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/alloc/pool_checker.cpp.o.d"
+  "/root/repo/src/codegen/c_codegen.cpp" "src/CMakeFiles/sdfmem.dir/codegen/c_codegen.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/codegen/c_codegen.cpp.o.d"
+  "/root/repo/src/codegen/code_size.cpp" "src/CMakeFiles/sdfmem.dir/codegen/code_size.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/codegen/code_size.cpp.o.d"
+  "/root/repo/src/graphs/cddat.cpp" "src/CMakeFiles/sdfmem.dir/graphs/cddat.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/graphs/cddat.cpp.o.d"
+  "/root/repo/src/graphs/filterbank.cpp" "src/CMakeFiles/sdfmem.dir/graphs/filterbank.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/graphs/filterbank.cpp.o.d"
+  "/root/repo/src/graphs/fir.cpp" "src/CMakeFiles/sdfmem.dir/graphs/fir.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/graphs/fir.cpp.o.d"
+  "/root/repo/src/graphs/homogeneous.cpp" "src/CMakeFiles/sdfmem.dir/graphs/homogeneous.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/graphs/homogeneous.cpp.o.d"
+  "/root/repo/src/graphs/ptolemy.cpp" "src/CMakeFiles/sdfmem.dir/graphs/ptolemy.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/graphs/ptolemy.cpp.o.d"
+  "/root/repo/src/graphs/random_sdf.cpp" "src/CMakeFiles/sdfmem.dir/graphs/random_sdf.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/graphs/random_sdf.cpp.o.d"
+  "/root/repo/src/graphs/satellite.cpp" "src/CMakeFiles/sdfmem.dir/graphs/satellite.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/graphs/satellite.cpp.o.d"
+  "/root/repo/src/lifetime/lifetime_extract.cpp" "src/CMakeFiles/sdfmem.dir/lifetime/lifetime_extract.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/lifetime/lifetime_extract.cpp.o.d"
+  "/root/repo/src/lifetime/periodic_interval.cpp" "src/CMakeFiles/sdfmem.dir/lifetime/periodic_interval.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/lifetime/periodic_interval.cpp.o.d"
+  "/root/repo/src/lifetime/schedule_tree.cpp" "src/CMakeFiles/sdfmem.dir/lifetime/schedule_tree.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/lifetime/schedule_tree.cpp.o.d"
+  "/root/repo/src/merge/buffer_merge.cpp" "src/CMakeFiles/sdfmem.dir/merge/buffer_merge.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/merge/buffer_merge.cpp.o.d"
+  "/root/repo/src/pipeline/compile.cpp" "src/CMakeFiles/sdfmem.dir/pipeline/compile.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/pipeline/compile.cpp.o.d"
+  "/root/repo/src/pipeline/explore.cpp" "src/CMakeFiles/sdfmem.dir/pipeline/explore.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/pipeline/explore.cpp.o.d"
+  "/root/repo/src/sched/apgan.cpp" "src/CMakeFiles/sdfmem.dir/sched/apgan.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/apgan.cpp.o.d"
+  "/root/repo/src/sched/bounds.cpp" "src/CMakeFiles/sdfmem.dir/sched/bounds.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/bounds.cpp.o.d"
+  "/root/repo/src/sched/chain_dp.cpp" "src/CMakeFiles/sdfmem.dir/sched/chain_dp.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/chain_dp.cpp.o.d"
+  "/root/repo/src/sched/cyclic.cpp" "src/CMakeFiles/sdfmem.dir/sched/cyclic.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/cyclic.cpp.o.d"
+  "/root/repo/src/sched/demand_driven.cpp" "src/CMakeFiles/sdfmem.dir/sched/demand_driven.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/demand_driven.cpp.o.d"
+  "/root/repo/src/sched/dppo.cpp" "src/CMakeFiles/sdfmem.dir/sched/dppo.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/dppo.cpp.o.d"
+  "/root/repo/src/sched/io_buffering.cpp" "src/CMakeFiles/sdfmem.dir/sched/io_buffering.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/io_buffering.cpp.o.d"
+  "/root/repo/src/sched/loop_compaction.cpp" "src/CMakeFiles/sdfmem.dir/sched/loop_compaction.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/loop_compaction.cpp.o.d"
+  "/root/repo/src/sched/nappearance.cpp" "src/CMakeFiles/sdfmem.dir/sched/nappearance.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/nappearance.cpp.o.d"
+  "/root/repo/src/sched/rpmc.cpp" "src/CMakeFiles/sdfmem.dir/sched/rpmc.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/rpmc.cpp.o.d"
+  "/root/repo/src/sched/sas.cpp" "src/CMakeFiles/sdfmem.dir/sched/sas.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/sas.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/sdfmem.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/sdppo.cpp" "src/CMakeFiles/sdfmem.dir/sched/sdppo.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/sdppo.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "src/CMakeFiles/sdfmem.dir/sched/simulator.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sched/simulator.cpp.o.d"
+  "/root/repo/src/sdf/analysis.cpp" "src/CMakeFiles/sdfmem.dir/sdf/analysis.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sdf/analysis.cpp.o.d"
+  "/root/repo/src/sdf/dot.cpp" "src/CMakeFiles/sdfmem.dir/sdf/dot.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sdf/dot.cpp.o.d"
+  "/root/repo/src/sdf/graph.cpp" "src/CMakeFiles/sdfmem.dir/sdf/graph.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sdf/graph.cpp.o.d"
+  "/root/repo/src/sdf/io.cpp" "src/CMakeFiles/sdfmem.dir/sdf/io.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sdf/io.cpp.o.d"
+  "/root/repo/src/sdf/repetitions.cpp" "src/CMakeFiles/sdfmem.dir/sdf/repetitions.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sdf/repetitions.cpp.o.d"
+  "/root/repo/src/sdf/throughput.cpp" "src/CMakeFiles/sdfmem.dir/sdf/throughput.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sdf/throughput.cpp.o.d"
+  "/root/repo/src/sdf/transform.cpp" "src/CMakeFiles/sdfmem.dir/sdf/transform.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sdf/transform.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/CMakeFiles/sdfmem.dir/sim/functional.cpp.o" "gcc" "src/CMakeFiles/sdfmem.dir/sim/functional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

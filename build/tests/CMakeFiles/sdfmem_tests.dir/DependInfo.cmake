@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_apgan.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_apgan.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_apgan.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_buffer_merge.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_buffer_merge.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_buffer_merge.cpp.o.d"
+  "/root/repo/tests/test_chain_dp.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_chain_dp.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_chain_dp.cpp.o.d"
+  "/root/repo/tests/test_clique.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_clique.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_clique.cpp.o.d"
+  "/root/repo/tests/test_code_size.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_code_size.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_code_size.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_cyclic.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_cyclic.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_cyclic.cpp.o.d"
+  "/root/repo/tests/test_demand_driven.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_demand_driven.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_demand_driven.cpp.o.d"
+  "/root/repo/tests/test_dot.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_dot.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_dot.cpp.o.d"
+  "/root/repo/tests/test_dppo.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_dppo.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_dppo.cpp.o.d"
+  "/root/repo/tests/test_explore.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_explore.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_explore.cpp.o.d"
+  "/root/repo/tests/test_fir.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_fir.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_fir.cpp.o.d"
+  "/root/repo/tests/test_first_fit.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_first_fit.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_first_fit.cpp.o.d"
+  "/root/repo/tests/test_functional.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_functional.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_functional.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_graphs.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_graphs.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_graphs.cpp.o.d"
+  "/root/repo/tests/test_intersection_graph.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_intersection_graph.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_intersection_graph.cpp.o.d"
+  "/root/repo/tests/test_io_buffering.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_io_buffering.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_io_buffering.cpp.o.d"
+  "/root/repo/tests/test_lifetime_extract.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_lifetime_extract.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_lifetime_extract.cpp.o.d"
+  "/root/repo/tests/test_loop_compaction.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_loop_compaction.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_loop_compaction.cpp.o.d"
+  "/root/repo/tests/test_nappearance.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_nappearance.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_nappearance.cpp.o.d"
+  "/root/repo/tests/test_optimal_dsa.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_optimal_dsa.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_optimal_dsa.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_periodic_interval.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_periodic_interval.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_periodic_interval.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pool_checker.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_pool_checker.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_pool_checker.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_properties2.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_properties2.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_properties2.cpp.o.d"
+  "/root/repo/tests/test_rational.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_rational.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_rational.cpp.o.d"
+  "/root/repo/tests/test_repetitions.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_repetitions.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_repetitions.cpp.o.d"
+  "/root/repo/tests/test_rpmc.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_rpmc.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_rpmc.cpp.o.d"
+  "/root/repo/tests/test_sas.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_sas.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_sas.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schedule_tree.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_schedule_tree.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_schedule_tree.cpp.o.d"
+  "/root/repo/tests/test_sdppo.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_sdppo.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_sdppo.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_throughput.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_throughput.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_throughput.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/sdfmem_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/sdfmem_tests.dir/test_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdfmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
