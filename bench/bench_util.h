@@ -2,13 +2,18 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graphs/filterbank.h"
 #include "graphs/ptolemy.h"
 #include "graphs/satellite.h"
+#include "obs/counters.h"
+#include "obs/json_report.h"
+#include "obs/trace.h"
 #include "sdf/graph.h"
 
 namespace sdf::bench {
@@ -47,5 +52,53 @@ inline int env_int(const char* name, int fallback) {
   const int parsed = std::atoi(value);
   return parsed > 0 ? parsed : fallback;
 }
+
+/// Opt-in JSON trajectory for a bench driver, sharing the CLI's
+/// `sdfmem.telemetry.v1` schema (docs/OBSERVABILITY.md) so BENCH_*.json
+/// files stay comparable across PRs.
+///
+/// When $SDFMEM_BENCH_JSON names a file, construction enables telemetry
+/// for the whole run and destruction writes the report (spans + counters +
+/// gauges + whatever the driver put into results()) to that file. When the
+/// variable is unset this is a no-op and the bench's stdout is
+/// byte-identical to an uninstrumented run.
+class JsonTrajectory {
+ public:
+  explicit JsonTrajectory(std::string tool) : tool_(std::move(tool)) {
+    const char* path = std::getenv("SDFMEM_BENCH_JSON");
+    if (path != nullptr && *path != '\0') {
+      path_ = path;
+      obs::set_enabled(true);
+      obs::reset();
+    }
+    results_ = obs::Json::object();
+  }
+
+  JsonTrajectory(const JsonTrajectory&) = delete;
+  JsonTrajectory& operator=(const JsonTrajectory&) = delete;
+
+  /// True when a report will be written (drivers can skip building rows
+  /// otherwise).
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+  /// Driver-specific payload, serialized under "results".
+  [[nodiscard]] obs::Json& results() { return results_; }
+
+  ~JsonTrajectory() {
+    if (path_.empty()) return;
+    obs::Json doc = obs::report();
+    doc["tool"] = tool_;
+    doc["results"] = std::move(results_);
+    if (!obs::write_file(path_, doc)) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+    }
+    obs::set_enabled(false);
+  }
+
+ private:
+  std::string tool_;
+  std::string path_;
+  obs::Json results_;
+};
 
 }  // namespace sdf::bench

@@ -11,13 +11,22 @@
 int main() {
   using namespace sdf;
   std::printf("Fig. 25: %% improvement of shared over non-shared\n\n");
+  bench::JsonTrajectory traj("fig25_improvement");
+  obs::Json rows = obs::Json::array();
   for (const Graph& g : bench::table1_systems()) {
     const Table1Row row = table1_row(g);
     const double pct = row.improvement_percent();
     const int bars = std::max(0, static_cast<int>(pct / 2.0));
     std::printf("%-14s %5.1f%% |%s\n", row.system.c_str(), pct,
                 std::string(static_cast<std::size_t>(bars), '#').c_str());
+    if (traj.active()) {
+      obs::Json r = obs::Json::object();
+      r["system"] = row.system;
+      r["improvement_percent"] = pct;
+      rows.push_back(std::move(r));
+    }
   }
   std::printf("\n(each # = 2%%; paper range: ~27%% to 83%%)\n");
+  if (traj.active()) traj.results()["rows"] = std::move(rows);
   return 0;
 }

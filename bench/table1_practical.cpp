@@ -20,11 +20,23 @@ int main() {
       "ffstrtR", "bmlb", "dppoA", "sdppoA", "mcoA", "mcpA", "ffdurA",
       "ffstrtA", "impr%");
 
+  bench::JsonTrajectory traj("table1_practical");
+  obs::Json rows = obs::Json::array();
   double improvement_sum = 0.0;
   double improvement_max = 0.0;
   int count = 0;
   for (const Graph& g : bench::table1_systems()) {
     const Table1Row row = table1_row(g);
+    if (traj.active()) {
+      obs::Json r = obs::Json::object();
+      r["system"] = row.system;
+      r["actors"] = static_cast<std::int64_t>(g.num_actors());
+      r["best_nonshared"] = row.best_nonshared();
+      r["best_shared"] = row.best_shared();
+      r["bmlb"] = row.bmlb;
+      r["improvement_percent"] = row.improvement_percent();
+      rows.push_back(std::move(r));
+    }
     std::printf(
         "%-14s %6zu | %7lld %7lld %5lld %5lld %6lld %7lld | %5lld | %7lld "
         "%7lld %5lld %5lld %6lld %7lld | %5.1f%%\n",
@@ -49,5 +61,10 @@ int main() {
       "paper reference: average >50%%, max 83%% (qmf12_5d); satrec shared "
       "991 vs non-shared 1542.\n",
       improvement_sum / count, improvement_max);
+  if (traj.active()) {
+    traj.results()["rows"] = std::move(rows);
+    traj.results()["average_improvement"] = improvement_sum / count;
+    traj.results()["max_improvement"] = improvement_max;
+  }
   return 0;
 }

@@ -4,15 +4,24 @@
 //   sdfmem_cli schedule [graph.sdf]   # print the optimized looped schedule
 //   sdfmem_cli codegen  [graph.sdf]   # emit threaded C on stdout
 //   sdfmem_cli dump     [graph.sdf]   # echo the parsed graph
+//   sdfmem_cli stats    [graph.sdf]   # per-stage wall times + counters
+//
+// Every subcommand accepts `--trace <file.json>`: telemetry is enabled for
+// the run and a `sdfmem.telemetry.v1` report (see docs/OBSERVABILITY.md)
+// is written to the file on exit.
 //
 // With no graph file, a built-in demo (the satellite receiver) is used so
 // the tool is runnable out of the box.
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "codegen/c_codegen.h"
 #include "graphs/satellite.h"
+#include "obs/counters.h"
+#include "obs/json_report.h"
+#include "obs/trace.h"
 #include "pipeline/compile.h"
 #include "pipeline/explore.h"
 #include "lifetime/schedule_tree.h"
@@ -25,58 +34,121 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: sdfmem_cli "
-               "<report|schedule|codegen|dump|explore|gantt|dot|hsdf> "
-               "[graph.sdf]\n");
+               "<report|schedule|codegen|dump|explore|gantt|dot|hsdf|stats> "
+               "[graph.sdf] [--trace file.json]\n");
+}
+
+/// Prints the collected spans (indented by depth) and all counters/gauges.
+void print_stats() {
+  using namespace sdf;
+  std::printf("\nstage timings:\n");
+  for (const obs::SpanRecord& rec : obs::spans()) {
+    std::printf("  %*s%-*s %10.3f ms\n", rec.depth * 2, "",
+                32 - rec.depth * 2, rec.name.c_str(),
+                static_cast<double>(rec.duration_ns()) / 1e6);
+  }
+  std::printf("\ncounters:\n");
+  for (const auto& [name, value] : obs::counters()) {
+    std::printf("  %-36s %12lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+  if (!obs::gauges().empty()) {
+    std::printf("\ngauges:\n");
+    for (const auto& [name, value] : obs::gauges()) {
+      std::printf("  %-36s %12lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    }
+  }
+}
+
+/// Builds the telemetry report with graph context and writes it to `path`.
+bool write_trace(const std::string& path, const sdf::Graph& g) {
+  using namespace sdf;
+  obs::Json doc = obs::report();
+  doc["tool"] = "sdfmem_cli";
+  obs::Json graph = obs::Json::object();
+  graph["name"] = g.name();
+  graph["actors"] = static_cast<std::int64_t>(g.num_actors());
+  graph["edges"] = static_cast<std::int64_t>(g.num_edges());
+  doc["graph"] = std::move(graph);
+  if (!obs::write_file(path, doc)) {
+    std::fprintf(stderr, "error: cannot write trace file %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sdf;
-  const std::string mode = argc > 1 ? argv[1] : "report";
+
+  std::vector<std::string> positional;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const std::string mode = positional.empty() ? "report" : positional[0];
   if (mode != "report" && mode != "schedule" && mode != "codegen" &&
       mode != "dump" && mode != "explore" && mode != "gantt" &&
-      mode != "dot" && mode != "hsdf") {
+      mode != "dot" && mode != "hsdf" && mode != "stats") {
     usage();
     return 2;
   }
 
   Graph g;
   try {
-    g = argc > 2 ? load_graph(argv[2]) : satellite_receiver();
+    g = positional.size() > 1 ? load_graph(positional[1])
+                              : satellite_receiver();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
+  if (!trace_path.empty() || mode == "stats") {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+
   try {
     if (mode == "dump") {
       std::cout << write_graph_text(g);
-      return 0;
-    }
-    if (mode == "dot") {
+    } else if (mode == "dot") {
       std::cout << graph_to_dot(g);
-      return 0;
-    }
-    if (mode == "hsdf") {
+    } else if (mode == "hsdf") {
       const HsdfExpansion x =
           expand_to_homogeneous(g, repetitions_vector(g));
       std::cout << write_graph_text(x.graph);
-      return 0;
-    }
-    const CompileResult res = compile(g);
-    if (mode == "schedule") {
+    } else if (mode == "stats") {
+      const CompileResult res = compile(g);
+      std::printf("graph:          %s (%zu actors, %zu edges)\n",
+                  g.name().c_str(), g.num_actors(), g.num_edges());
+      std::printf("schedule:       %s\n", res.schedule.to_string(g).c_str());
+      std::printf("non-shared:     %lld tokens\n",
+                  static_cast<long long>(res.nonshared_bufmem));
+      std::printf("shared pool:    %lld tokens\n",
+                  static_cast<long long>(res.shared_size));
+      print_stats();
+    } else if (mode == "schedule") {
+      const CompileResult res = compile(g);
       std::cout << res.schedule.to_string(g) << "\n";
-      return 0;
-    }
-    if (mode == "gantt") {
+    } else if (mode == "gantt") {
+      const CompileResult res = compile(g);
       const ScheduleTree tree(g, res.schedule);
       std::cout << res.schedule.to_string(g) << "\n"
                 << lifetime_gantt(g, res.lifetimes, tree.total_duration(),
                                   &res.allocation);
-      return 0;
-    }
-    if (mode == "explore") {
+    } else if (mode == "explore") {
       const ExploreResult r = explore_designs(g);
       std::printf("%zu strategies; pareto frontier:\n", r.points.size());
       for (const DesignPoint& p : r.frontier) {
@@ -85,27 +157,29 @@ int main(int argc, char** argv) {
                     static_cast<long long>(p.shared_memory),
                     p.strategy.c_str());
       }
-      return 0;
-    }
-    if (mode == "codegen") {
+    } else if (mode == "codegen") {
+      const CompileResult res = compile(g);
       std::cout << generate_c_source(g, res.q, res.schedule, res.lifetimes,
                                      res.allocation);
-      return 0;
+    } else {
+      const CompileResult res = compile(g);
+      const Table1Row row = table1_row(g);
+      std::printf("graph:          %s (%zu actors, %zu edges)\n",
+                  g.name().c_str(), g.num_actors(), g.num_edges());
+      std::printf("schedule:       %s\n", res.schedule.to_string(g).c_str());
+      std::printf("non-shared:     %lld tokens (best of RPMC/APGAN + DPPO)\n",
+                  static_cast<long long>(row.best_nonshared()));
+      std::printf("shared pool:    %lld tokens (best first-fit)\n",
+                  static_cast<long long>(row.best_shared()));
+      std::printf("BMLB:           %lld tokens\n",
+                  static_cast<long long>(row.bmlb));
+      std::printf("improvement:    %.1f%%\n", row.improvement_percent());
     }
-    const Table1Row row = table1_row(g);
-    std::printf("graph:          %s (%zu actors, %zu edges)\n",
-                g.name().c_str(), g.num_actors(), g.num_edges());
-    std::printf("schedule:       %s\n", res.schedule.to_string(g).c_str());
-    std::printf("non-shared:     %lld tokens (best of RPMC/APGAN + DPPO)\n",
-                static_cast<long long>(row.best_nonshared()));
-    std::printf("shared pool:    %lld tokens (best first-fit)\n",
-                static_cast<long long>(row.best_shared()));
-    std::printf("BMLB:           %lld tokens\n",
-                static_cast<long long>(row.bmlb));
-    std::printf("improvement:    %.1f%%\n", row.improvement_percent());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+
+  if (!trace_path.empty() && !write_trace(trace_path, g)) return 1;
   return 0;
 }

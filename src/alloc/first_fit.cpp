@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/counters.h"
+
 namespace sdf {
 
 std::vector<std::int32_t> enumeration_order(
@@ -45,6 +47,9 @@ Allocation first_fit_enumerated(const IntersectionGraph& wig,
   alloc.offsets.assign(wig.size(), 0);
   std::vector<bool> placed(wig.size(), false);
 
+  std::int64_t conflicts_checked = 0;  // placed WIG neighbors examined
+  std::int64_t probes = 0;             // busy ranges walked over
+  std::int64_t gap_skipped_tokens = 0; // holes too small for the buffer
   for (std::int32_t i : order) {
     const auto ii = static_cast<std::size_t>(i);
     // Collect already-placed conflicting ranges, sorted by offset.
@@ -53,11 +58,16 @@ Allocation first_fit_enumerated(const IntersectionGraph& wig,
       const auto jj = static_cast<std::size_t>(j);
       if (placed[jj]) busy.emplace_back(alloc.offsets[jj], wig.weights[jj]);
     }
+    conflicts_checked += static_cast<std::int64_t>(wig.adjacency[ii].size());
     std::sort(busy.begin(), busy.end());
     // Lowest gap that fits this buffer's width.
     std::int64_t candidate = 0;
     for (const auto& [off, width] : busy) {
+      ++probes;
       if (candidate + wig.weights[ii] <= off) break;  // fits before this one
+      // A hole in [candidate, off) exists but is too narrow: first-fit
+      // fragmentation the paper's ffdur/ffstart orders try to minimize.
+      if (off > candidate) gap_skipped_tokens += off - candidate;
       candidate = std::max(candidate, off + width);
     }
     alloc.offsets[ii] = candidate;
@@ -65,6 +75,12 @@ Allocation first_fit_enumerated(const IntersectionGraph& wig,
     alloc.total_size =
         std::max(alloc.total_size, candidate + wig.weights[ii]);
   }
+  obs::count("alloc.first_fit.placements",
+             static_cast<std::int64_t>(order.size()));
+  obs::count("alloc.first_fit.conflicts_checked", conflicts_checked);
+  obs::count("alloc.first_fit.probes", probes);
+  obs::count("alloc.first_fit.gap_skipped_tokens", gap_skipped_tokens);
+  obs::gauge("alloc.first_fit.total_size", alloc.total_size);
   return alloc;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
+
 namespace sdf {
 namespace {
 
@@ -13,15 +15,20 @@ IntersectionGraph build(const std::vector<BufferLifetime>& lifetimes,
   wig.adjacency.assign(n, {});
   wig.weights.reserve(n);
   for (const BufferLifetime& b : lifetimes) wig.weights.push_back(b.width);
+  std::int64_t edges = 0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       if (overlap(lifetimes[i], lifetimes[j])) {
         wig.adjacency[i].push_back(static_cast<std::int32_t>(j));
         wig.adjacency[j].push_back(static_cast<std::int32_t>(i));
+        ++edges;
       }
     }
   }
   for (auto& row : wig.adjacency) std::sort(row.begin(), row.end());
+  obs::count("alloc.wig.pairs_checked",
+             n < 2 ? 0 : static_cast<std::int64_t>(n * (n - 1) / 2));
+  obs::count("alloc.wig.edges", edges);
   return wig;
 }
 

@@ -1,0 +1,66 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/counters.h"
+
+namespace sdf::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Session {
+  bool enabled = false;
+  std::int32_t depth = 0;
+  Clock::time_point epoch = Clock::now();
+  std::vector<SpanRecord> spans;
+};
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return session().enabled; }
+
+void set_enabled(bool on) noexcept { session().enabled = on; }
+
+void reset() {
+  Session& s = session();
+  s.spans.clear();
+  s.depth = 0;
+  s.epoch = Clock::now();
+  detail::reset_counters();
+}
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now() - session().epoch)
+      .count();
+}
+
+Span::Span(std::string_view name) {
+  Session& s = session();
+  if (!s.enabled) return;
+  index_ = static_cast<std::ptrdiff_t>(s.spans.size());
+  SpanRecord rec;
+  rec.name.assign(name);
+  rec.depth = s.depth++;
+  rec.start_ns = now_ns();
+  s.spans.push_back(std::move(rec));
+}
+
+Span::~Span() {
+  if (index_ < 0) return;
+  Session& s = session();
+  // A reset() between construction and destruction invalidates the slot.
+  if (static_cast<std::size_t>(index_) >= s.spans.size()) return;
+  s.spans[static_cast<std::size_t>(index_)].end_ns = now_ns();
+  if (s.depth > 0) --s.depth;
+}
+
+const std::vector<SpanRecord>& spans() noexcept { return session().spans; }
+
+}  // namespace sdf::obs

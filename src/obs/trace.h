@@ -1,0 +1,68 @@
+// Tracing spans for the compilation pipeline (Fig. 21 stages and below).
+//
+// A single process-wide telemetry session collects RAII `Span` scopes with
+// nesting depth and monotonic nanosecond timestamps. Tracing is OFF by
+// default; every entry point checks one boolean, so instrumented code has
+// near-zero overhead when disabled. The session is not thread-safe — the
+// compiler pipeline is single-threaded, as are the tests and benches.
+//
+// Typical use:
+//
+//   sdf::obs::set_enabled(true);
+//   sdf::obs::reset();
+//   { sdf::obs::Span s("pipeline.compile"); ... }
+//   for (const auto& rec : sdf::obs::spans()) ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdf::obs {
+
+/// True when the telemetry session is collecting spans and counters.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Turns collection on or off. Turning it on does NOT clear prior data;
+/// call reset() to start a fresh session.
+void set_enabled(bool on) noexcept;
+
+/// Clears all spans, counters and gauges, and re-zeros the session clock.
+void reset();
+
+/// One completed (or still-open) traced scope.
+struct SpanRecord {
+  std::string name;
+  std::int32_t depth = 0;     ///< nesting level at creation (0 = top)
+  std::int64_t start_ns = 0;  ///< relative to the last reset()
+  std::int64_t end_ns = -1;   ///< -1 while the scope is still open
+
+  [[nodiscard]] std::int64_t duration_ns() const {
+    return end_ns < 0 ? 0 : end_ns - start_ns;
+  }
+};
+
+/// RAII traced scope. When the session is disabled, construction and
+/// destruction are a single boolean check each.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&&) = delete;
+  Span& operator=(Span&&) = delete;
+
+ private:
+  std::ptrdiff_t index_ = -1;  ///< slot in the session, -1 when inactive
+};
+
+/// Completed and open spans, in creation order.
+[[nodiscard]] const std::vector<SpanRecord>& spans() noexcept;
+
+/// Nanoseconds of monotonic time since the last reset().
+[[nodiscard]] std::int64_t now_ns() noexcept;
+
+}  // namespace sdf::obs

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "alloc/clique.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "lifetime/schedule_tree.h"
 #include "sched/apgan.h"
 #include "sched/chain_dp.h"
@@ -43,65 +45,96 @@ CompileResult compile_with_order(const Graph& g,
   if (options.blocking_factor < 1) {
     throw std::invalid_argument("compile: blocking_factor must be >= 1");
   }
+  const obs::Span span("pipeline.compile");
   CompileResult result;
   result.q = repetitions_vector(g);
   for (auto& reps : result.q) reps *= options.blocking_factor;
   result.lexorder = order;
 
-  switch (options.optimizer) {
-    case LoopOptimizer::kDppo: {
-      DppoResult r = dppo(g, result.q, order);
-      result.schedule = std::move(r.schedule);
-      result.dp_estimate = r.cost;
-      break;
-    }
-    case LoopOptimizer::kSdppo: {
-      SdppoResult r = sdppo(g, result.q, order);
-      result.schedule = std::move(r.schedule);
-      result.dp_estimate = r.estimate;
-      break;
-    }
-    case LoopOptimizer::kChainExact: {
-      if (chain_order(g).has_value()) {
-        ChainDpResult r = chain_sdppo_exact(g, result.q, order);
+  {
+    const obs::Span dp_span("pipeline.stage.loop_dp");
+    switch (options.optimizer) {
+      case LoopOptimizer::kDppo: {
+        DppoResult r = dppo(g, result.q, order);
         result.schedule = std::move(r.schedule);
-        result.dp_estimate = r.estimate;
-      } else {
+        result.dp_estimate = r.cost;
+        break;
+      }
+      case LoopOptimizer::kSdppo: {
         SdppoResult r = sdppo(g, result.q, order);
         result.schedule = std::move(r.schedule);
         result.dp_estimate = r.estimate;
+        break;
       }
-      break;
-    }
-    case LoopOptimizer::kFlat: {
-      result.schedule = flat_sas(g, result.q, order);
-      result.dp_estimate = 0;
-      break;
+      case LoopOptimizer::kChainExact: {
+        if (chain_order(g).has_value()) {
+          ChainDpResult r = chain_sdppo_exact(g, result.q, order);
+          result.schedule = std::move(r.schedule);
+          result.dp_estimate = r.estimate;
+        } else {
+          SdppoResult r = sdppo(g, result.q, order);
+          result.schedule = std::move(r.schedule);
+          result.dp_estimate = r.estimate;
+        }
+        break;
+      }
+      case LoopOptimizer::kFlat: {
+        result.schedule = flat_sas(g, result.q, order);
+        result.dp_estimate = 0;
+        break;
+      }
     }
   }
 
-  const SimulationResult sim = simulate(g, result.schedule);
-  if (!sim.valid) {
-    throw std::runtime_error("compile: generated schedule is invalid: " +
-                             sim.error);
+  {
+    const obs::Span sim_span("pipeline.stage.simulate");
+    const SimulationResult sim = simulate(g, result.schedule);
+    if (!sim.valid) {
+      throw std::runtime_error("compile: generated schedule is invalid: " +
+                               sim.error);
+    }
+    result.nonshared_bufmem = sim.buffer_memory;
   }
-  result.nonshared_bufmem = sim.buffer_memory;
 
-  const ScheduleTree tree(g, result.schedule);
-  result.lifetimes = extract_lifetimes(g, result.q, tree);
-  result.wig = build_intersection_graph(tree, result.lifetimes);
-  result.allocation =
-      first_fit(result.wig, result.lifetimes, options.allocation_order);
-  result.shared_size = result.allocation.total_size;
-  result.mcw_optimistic = mcw_optimistic(result.lifetimes);
-  result.mcw_pessimistic = mcw_pessimistic(result.lifetimes);
-  result.bmlb = bmlb(g);
+  {
+    const obs::Span life_span("pipeline.stage.lifetimes");
+    const ScheduleTree tree(g, result.schedule);
+    result.lifetimes = extract_lifetimes(g, result.q, tree);
+    {
+      const obs::Span wig_span("pipeline.stage.wig");
+      result.wig = build_intersection_graph(tree, result.lifetimes);
+    }
+  }
+
+  {
+    const obs::Span alloc_span("pipeline.stage.allocate");
+    result.allocation =
+        first_fit(result.wig, result.lifetimes, options.allocation_order);
+    result.shared_size = result.allocation.total_size;
+    result.mcw_optimistic = mcw_optimistic(result.lifetimes);
+    result.mcw_pessimistic = mcw_pessimistic(result.lifetimes);
+    result.bmlb = bmlb(g);
+  }
+
+  obs::count("pipeline.compile.runs");
+  if (obs::enabled()) {
+    obs::gauge("pipeline.result.nonshared_bufmem", result.nonshared_bufmem);
+    obs::gauge("pipeline.result.dp_estimate", result.dp_estimate);
+    obs::gauge("pipeline.result.shared_size", result.shared_size);
+    obs::gauge("pipeline.result.buffers",
+               static_cast<std::int64_t>(result.lifetimes.size()));
+  }
   return result;
 }
 
 CompileResult compile(const Graph& g, const CompileOptions& options) {
   const Repetitions q = repetitions_vector(g);
-  return compile_with_order(g, choose_order(g, q, options.order), options);
+  std::vector<ActorId> order;
+  {
+    const obs::Span order_span("pipeline.stage.order");
+    order = choose_order(g, q, options.order);
+  }
+  return compile_with_order(g, order, options);
 }
 
 Table1Row table1_row(const Graph& g) {

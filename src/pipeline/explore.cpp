@@ -6,6 +6,8 @@
 #include "alloc/intersection_graph.h"
 #include "lifetime/schedule_tree.h"
 #include "merge/buffer_merge.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "sched/nappearance.h"
 #include "sched/simulator.h"
 
@@ -55,6 +57,7 @@ std::int64_t shared_size_of(const Graph& g, const Repetitions& q,
 }  // namespace
 
 ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
+  const obs::Span span("pipeline.explore");
   ExploreResult result;
   CodeSizeModel model = options.model;
   if (model.actor_size.empty()) model = CodeSizeModel::uniform(g, 10);
@@ -137,6 +140,10 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
               }
               return a.shared_memory < b.shared_memory;
             });
+  obs::count("pipeline.explore.points",
+             static_cast<std::int64_t>(result.points.size()));
+  obs::gauge("pipeline.explore.frontier_size",
+             static_cast<std::int64_t>(result.frontier.size()));
   return result;
 }
 

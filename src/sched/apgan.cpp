@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/counters.h"
 #include "sdf/analysis.h"
 
 namespace sdf {
@@ -149,6 +150,9 @@ ApganResult apgan(const Graph& g, const Repetitions& q) {
 
   // Repeatedly merge the adjacent pair with the largest repetition gcd that
   // stays acyclic, until no edges remain.
+  std::int64_t candidates_considered = 0;
+  std::int64_t cycle_rejections = 0;
+  std::int64_t merges = 0;
   while (true) {
     struct Candidate {
       std::int64_t gcd;
@@ -163,6 +167,7 @@ ApganResult apgan(const Graph& g, const Repetitions& q) {
       }
     }
     if (candidates.empty()) break;
+    candidates_considered += static_cast<std::int64_t>(candidates.size());
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& x, const Candidate& y) {
                 if (x.gcd != y.gcd) return x.gcd > y.gcd;
@@ -174,8 +179,10 @@ ApganResult apgan(const Graph& g, const Repetitions& q) {
       if (!has_indirect_path(c, cand.from, cand.to)) {
         merge(c, cand.from, cand.to);
         merged = true;
+        ++merges;
         break;
       }
+      ++cycle_rejections;
     }
     if (!merged) {
       // Cannot happen for a DAG (a transitive-reduction edge always
@@ -196,6 +203,9 @@ ApganResult apgan(const Graph& g, const Repetitions& q) {
                         ? tops.front().normalized()
                         : Schedule::sequence(std::move(tops)).normalized();
   result.lexorder = result.schedule.lexorder();
+  obs::count("sched.apgan.candidates", candidates_considered);
+  obs::count("sched.apgan.cycle_rejections", cycle_rejections);
+  obs::count("sched.apgan.merges", merges);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/counters.h"
 #include "sched/dppo.h"
 #include "sched/sas.h"
 #include "sdf/analysis.h"
@@ -19,17 +20,29 @@ struct Entry {
   std::size_t right_index = 0;  // entry index in cell (k+1, j)
 };
 
+/// Telemetry tallies for one chain-DP run, reported once at the end.
+struct PruneStats {
+  std::int64_t dominated_rejects = 0;  ///< candidates killed on entry
+  std::int64_t dominated_removed = 0;  ///< set entries a candidate killed
+  std::int64_t truncations = 0;        ///< times a cell hit the bound
+};
+
 /// Inserts `e` into the Pareto set unless dominated; removes entries it
 /// dominates. Keeps at most `bound` entries (smallest cost first on
 /// overflow). Returns true if the set was truncated.
 bool pareto_insert(std::vector<Entry>& set, const Entry& e,
-                   std::size_t bound) {
+                   std::size_t bound, PruneStats& stats) {
   for (const Entry& existing : set) {
-    if (existing.t.dominates(e.t)) return false;
+    if (existing.t.dominates(e.t)) {
+      ++stats.dominated_rejects;
+      return false;
+    }
   }
+  const std::size_t before = set.size();
   std::erase_if(set, [&](const Entry& existing) {
     return e.t.dominates(existing.t);
   });
+  stats.dominated_removed += static_cast<std::int64_t>(before - set.size());
   set.push_back(e);
   if (set.size() > bound) {
     // Keep the `bound` entries with the smallest total cost (tie: smaller
@@ -39,6 +52,7 @@ bool pareto_insert(std::vector<Entry>& set, const Entry& e,
       return a.t.left + a.t.right < b.t.left + b.t.right;
     });
     set.resize(bound);
+    ++stats.truncations;
     return true;
   }
   return false;
@@ -116,11 +130,15 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
   }
   result.max_pareto_width = 1;
 
+  PruneStats prune;
+  std::int64_t cells = 0;
+  std::int64_t triples = 0;
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
       const std::int64_t gij = costs.gij(i, j);
       auto& cell = table[i][j];
+      ++cells;
       for (std::size_t k = i; k < j; ++k) {
         const std::int64_t c = costs.cost(i, k, j);
         const std::int64_t rl = costs.gij(i, k) / gij;
@@ -134,7 +152,9 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
             e.split = k;
             e.left_index = li;
             e.right_index = ri;
-            result.truncated |= pareto_insert(cell, e, max_incomparable);
+            ++triples;
+            result.truncated |=
+                pareto_insert(cell, e, max_incomparable, prune);
           }
         }
       }
@@ -142,6 +162,13 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
                                          cell.size());
     }
   }
+  obs::count("sched.chain_dp.cells", cells);
+  obs::count("sched.chain_dp.triples", triples);
+  obs::count("sched.chain_dp.pruned",
+             prune.dominated_rejects + prune.dominated_removed);
+  obs::count("sched.chain_dp.truncations", prune.truncations);
+  obs::gauge("sched.chain_dp.max_pareto_width",
+             static_cast<std::int64_t>(result.max_pareto_width));
 
   const auto& top = table[0][n - 1];
   std::size_t best = 0;

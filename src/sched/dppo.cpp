@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/counters.h"
 #include "sdf/analysis.h"
 
 namespace sdf {
@@ -99,6 +100,8 @@ DppoResult dppo(const Graph& g, const Repetitions& q,
   SplitTable splits;
   splits.at.assign(n, std::vector<std::size_t>(n, 0));
 
+  std::int64_t cells = 0;
+  std::int64_t split_candidates = 0;
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
@@ -114,8 +117,12 @@ DppoResult dppo(const Graph& g, const Repetitions& q,
       }
       b[i][j] = best;
       splits.at[i][j] = best_k;
+      ++cells;
+      split_candidates += static_cast<std::int64_t>(len) - 1;
     }
   }
+  obs::count("sched.dppo.cells", cells);
+  obs::count("sched.dppo.splits", split_candidates);
 
   DppoResult result;
   result.cost = n >= 2 ? b[0][n - 1] : 0;

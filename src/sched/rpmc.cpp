@@ -5,6 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/counters.h"
 #include "sched/sas.h"
 #include "sched/sdppo.h"
 #include "sdf/analysis.h"
@@ -25,6 +26,11 @@ struct Partitioner {
   /// stamping.
   std::vector<std::int32_t> stamp;
   std::int32_t current_stamp = 0;
+
+  /// Telemetry tallies, reported once per rpmc() run.
+  std::int64_t partitions = 0;     ///< solve() calls that actually cut
+  std::int64_t cuts_considered = 0;
+  std::int64_t refine_moves = 0;   ///< accepted boundary moves
 
   explicit Partitioner(const Graph& graph, const Repetitions& reps,
                        const RpmcOptions& opts)
@@ -95,8 +101,10 @@ struct Partitioner {
       out.insert(out.end(), members.begin(), members.end());
       return;
     }
+    ++partitions;
     const std::vector<ActorId> order = topo(members);
     const std::size_t m = order.size();
+    cuts_considered += static_cast<std::int64_t>(m) - 1;
 
     // Cumulative crossing cost for prefix cuts: sweep the topological
     // order; when actor at position p moves left, edges into it stop
@@ -188,6 +196,7 @@ struct Partitioner {
             --left_size;
             cost += delta;
             improved = true;
+            ++refine_moves;
           }
         } else {
           // R -> L legal iff every in-subset predecessor is in L.
@@ -215,6 +224,7 @@ struct Partitioner {
             ++left_size;
             cost += delta;
             improved = true;
+            ++refine_moves;
           }
         }
       }
@@ -248,6 +258,9 @@ RpmcResult rpmc(const Graph& g, const Repetitions& q,
   RpmcResult result;
   part.solve(std::move(all), result.lexorder);
   result.flat = flat_sas(g, q, result.lexorder);
+  obs::count("sched.rpmc.partitions", part.partitions);
+  obs::count("sched.rpmc.cuts_considered", part.cuts_considered);
+  obs::count("sched.rpmc.refine_moves", part.refine_moves);
   return result;
 }
 

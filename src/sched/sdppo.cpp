@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/counters.h"
 #include "sched/dppo.h"
 #include "sdf/analysis.h"
 
@@ -23,9 +24,13 @@ SdppoResult sdppo(const Graph& g, const Repetitions& q,
   SplitTable splits;
   splits.at.assign(n, std::vector<std::size_t>(n, 0));
 
+  std::int64_t cells = 0;
+  std::int64_t split_candidates = 0;
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
+      ++cells;
+      split_candidates += static_cast<std::int64_t>(len) - 1;
       std::int64_t best = kInf;
       std::int64_t best_edges = kInf;
       std::size_t best_k = i;
@@ -47,6 +52,8 @@ SdppoResult sdppo(const Graph& g, const Repetitions& q,
       splits.at[i][j] = best_k;
     }
   }
+  obs::count("sched.sdppo.cells", cells);
+  obs::count("sched.sdppo.splits", split_candidates);
 
   SdppoResult result;
   result.estimate = n >= 2 ? b[0][n - 1] : 0;
