@@ -1,0 +1,127 @@
+// Serial-vs-parallel design-space exploration: wall-clock trajectory for
+// the work-stealing sweep (pipeline/explore.cpp). For each benchmark
+// system, runs the identical sweep at increasing worker counts, verifies
+// the output is byte-identical to the serial run, and reports speedup and
+// points/sec. With SDFMEM_BENCH_JSON set, the rows land in the shared
+// `sdfmem.telemetry.v1` trajectory so BENCH JSON captures the speedup
+// across PRs.
+//
+// Env knobs: SDFMEM_BENCH_REPEAT (default 3; best-of-N per cell),
+// SDFMEM_JOBS_MAX (default 4; highest worker count tried beyond the
+// hardware count).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "pipeline/explore.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+/// Canonical text form of a sweep result: every point and the frontier,
+/// with all numbers and strategy strings. Two runs are "identical" iff
+/// these strings match byte-for-byte.
+std::string result_fingerprint(const sdf::ExploreResult& r) {
+  std::string out;
+  for (const sdf::DesignPoint& p : r.points) {
+    out += p.strategy + "|" + std::to_string(p.code_size) + "|" +
+           std::to_string(p.shared_memory) + "|" +
+           std::to_string(p.nonshared_memory) + "|" +
+           (p.pareto ? "P" : "-") + "\n";
+  }
+  out += "--\n";
+  for (const sdf::DesignPoint& f : r.frontier) {
+    out += f.strategy + "|" + std::to_string(f.code_size) + "|" +
+           std::to_string(f.shared_memory) + "\n";
+  }
+  return out;
+}
+
+double best_of_ms(const sdf::Graph& g, int jobs, int repeat,
+                  sdf::ExploreResult* out) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int i = 0; i < repeat; ++i) {
+    sdf::ExploreOptions options;
+    options.jobs = jobs;
+    const auto t0 = Clock::now();
+    sdf::ExploreResult r = sdf::explore_designs(g, options);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    best = std::min(best, ms);
+    if (out != nullptr) *out = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdf;
+  bench::JsonTrajectory traj("explore_scaling");
+  obs::Json rows = obs::Json::array();
+
+  const int repeat = bench::env_int("SDFMEM_BENCH_REPEAT", 3);
+  const int jobs_cap = bench::env_int("SDFMEM_JOBS_MAX", 4);
+
+  std::vector<int> job_counts{1, 2, 4};
+  job_counts.push_back(util::ThreadPool::hardware_jobs());
+  job_counts.push_back(jobs_cap);
+  std::sort(job_counts.begin(), job_counts.end());
+  job_counts.erase(std::unique(job_counts.begin(), job_counts.end()),
+                   job_counts.end());
+
+  std::vector<Graph> systems;
+  systems.push_back(satellite_receiver());
+  systems.push_back(qmf23(4));
+  systems.push_back(qmf235(3));
+
+  std::printf("%-12s %6s %10s %9s %10s  %s\n", "system", "jobs", "ms",
+              "speedup", "points/s", "identical");
+  for (const Graph& g : systems) {
+    ExploreResult serial;
+    const double serial_ms = best_of_ms(g, 1, repeat, &serial);
+    const std::string want = result_fingerprint(serial);
+
+    for (const int jobs : job_counts) {
+      ExploreResult r;
+      const double ms =
+          jobs == 1 ? serial_ms : best_of_ms(g, jobs, repeat, &r);
+      const bool identical =
+          jobs == 1 || result_fingerprint(r) == want;
+      const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
+      const double pps =
+          ms > 0.0 ? 1000.0 * static_cast<double>(serial.points.size()) / ms
+                   : 0.0;
+      std::printf("%-12s %6d %10.2f %8.2fx %10.0f  %s\n", g.name().c_str(),
+                  jobs, ms, speedup, pps, identical ? "yes" : "NO");
+      if (!identical) {
+        std::fprintf(stderr,
+                     "error: %s with %d jobs diverged from the serial "
+                     "sweep\n",
+                     g.name().c_str(), jobs);
+        return 1;
+      }
+      if (traj.active()) {
+        obs::Json row = obs::Json::object();
+        row["system"] = g.name();
+        row["jobs"] = static_cast<std::int64_t>(jobs);
+        row["ms"] = ms;
+        row["speedup_vs_serial"] = speedup;
+        row["points"] = static_cast<std::int64_t>(serial.points.size());
+        row["points_per_sec"] = pps;
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  if (traj.active()) traj.results()["scaling"] = std::move(rows);
+  std::printf(
+      "\nspeedup is serial wall-clock / parallel wall-clock (best of %d);\n"
+      "'identical' checks the parallel sweep reproduced the serial points\n"
+      "and frontier byte-for-byte.\n",
+      repeat);
+  return 0;
+}

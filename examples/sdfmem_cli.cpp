@@ -10,9 +10,16 @@
 // the run and a `sdfmem.telemetry.v1` report (see docs/OBSERVABILITY.md)
 // is written to the file on exit.
 //
+// `--jobs N` sets the worker-thread count for the parallel paths (design-
+// space exploration in `explore`, the two pipeline sides in `report`);
+// `--jobs 0` / unset honors $SDFMEM_JOBS and otherwise runs serial, and a
+// negative N means one worker per hardware thread. Output is byte-identical
+// for every jobs value.
+//
 // With no graph file, a built-in demo (the satellite receiver) is used so
 // the tool is runnable out of the box.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,6 +35,7 @@
 #include "sdf/dot.h"
 #include "sdf/io.h"
 #include "sdf/transform.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -35,7 +43,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: sdfmem_cli "
                "<report|schedule|codegen|dump|explore|gantt|dot|hsdf|stats> "
-               "[graph.sdf] [--trace file.json]\n");
+               "[graph.sdf] [--trace file.json] [--jobs N]\n");
 }
 
 /// Prints the collected spans (indented by depth) and all counters/gauges.
@@ -85,6 +93,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> positional;
   std::string trace_path;
+  int jobs_flag = 0;  // 0 = $SDFMEM_JOBS or serial
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -93,10 +102,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[++i];
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      jobs_flag = std::atoi(argv[++i]);
     } else {
       positional.push_back(arg);
     }
   }
+  const int jobs = util::ThreadPool::resolve_jobs(jobs_flag);
 
   const std::string mode = positional.empty() ? "report" : positional[0];
   if (mode != "report" && mode != "schedule" && mode != "codegen" &&
@@ -149,7 +165,9 @@ int main(int argc, char** argv) {
                 << lifetime_gantt(g, res.lifetimes, tree.total_duration(),
                                   &res.allocation);
     } else if (mode == "explore") {
-      const ExploreResult r = explore_designs(g);
+      ExploreOptions eopts;
+      eopts.jobs = jobs;
+      const ExploreResult r = explore_designs(g, eopts);
       std::printf("%zu strategies; pareto frontier:\n", r.points.size());
       for (const DesignPoint& p : r.frontier) {
         std::printf("  code %6lld  sharedMem %6lld   %s\n",
@@ -163,7 +181,7 @@ int main(int argc, char** argv) {
                                      res.allocation);
     } else {
       const CompileResult res = compile(g);
-      const Table1Row row = table1_row(g);
+      const Table1Row row = table1_row(g, jobs);
       std::printf("graph:          %s (%zu actors, %zu edges)\n",
                   g.name().c_str(), g.num_actors(), g.num_edges());
       std::printf("schedule:       %s\n", res.schedule.to_string(g).c_str());

@@ -6,6 +6,12 @@
 // the way out — that keeps the per-iteration cost at a register increment
 // and the disabled-path cost at one boolean check per algorithm run.
 //
+// Thread safety: count()/gauge()/counter()/gauge_value() are mutex-guarded
+// and safe from worker threads. The bulk accessors counters()/gauges()
+// return references to the live tables and must only be read after any
+// recording threads have been joined (e.g. after a parallel explore
+// returns).
+//
 // Naming convention: `<layer>.<component>.<quantity>`, e.g.
 // `sched.sdppo.cells`, `alloc.first_fit.probes`, `pipeline.compile.runs`.
 #pragma once

@@ -419,6 +419,7 @@ Json report() {
     Json s = Json::object();
     s["name"] = rec.name;
     s["depth"] = static_cast<std::int64_t>(rec.depth);
+    s["thread"] = static_cast<std::int64_t>(rec.thread);
     s["start_ns"] = rec.start_ns;
     s["dur_ns"] = rec.duration_ns();
     span_list.push_back(std::move(s));

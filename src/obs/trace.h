@@ -2,9 +2,18 @@
 //
 // A single process-wide telemetry session collects RAII `Span` scopes with
 // nesting depth and monotonic nanosecond timestamps. Tracing is OFF by
-// default; every entry point checks one boolean, so instrumented code has
-// near-zero overhead when disabled. The session is not thread-safe — the
-// compiler pipeline is single-threaded, as are the tests and benches.
+// default; every entry point checks one atomic boolean, so instrumented
+// code has near-zero overhead when disabled.
+//
+// Thread safety: the session is safe to record into from multiple threads
+// (the parallel design-space exploration does exactly that). Span storage
+// is mutex-guarded; nesting depth is tracked per thread, so spans opened
+// on a worker thread nest against that worker's own scopes. Each record
+// carries a small per-thread ordinal (`thread`) so reports can attribute
+// work to workers. The *read* side (`spans()`) is intended for use after
+// parallel work has been joined — readers are not synchronized against
+// concurrent writers, and `reset()`/`set_enabled()` must not race with
+// open spans.
 //
 // Typical use:
 //
@@ -29,12 +38,14 @@ namespace sdf::obs {
 void set_enabled(bool on) noexcept;
 
 /// Clears all spans, counters and gauges, and re-zeros the session clock.
+/// Must not race with concurrently open spans or recording threads.
 void reset();
 
 /// One completed (or still-open) traced scope.
 struct SpanRecord {
   std::string name;
-  std::int32_t depth = 0;     ///< nesting level at creation (0 = top)
+  std::int32_t depth = 0;     ///< nesting level on its thread (0 = top)
+  std::int32_t thread = 0;    ///< per-thread ordinal (0 = first recorder)
   std::int64_t start_ns = 0;  ///< relative to the last reset()
   std::int64_t end_ns = -1;   ///< -1 while the scope is still open
 
@@ -44,7 +55,7 @@ struct SpanRecord {
 };
 
 /// RAII traced scope. When the session is disabled, construction and
-/// destruction are a single boolean check each.
+/// destruction are a single atomic check each.
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -59,7 +70,8 @@ class Span {
   std::ptrdiff_t index_ = -1;  ///< slot in the session, -1 when inactive
 };
 
-/// Completed and open spans, in creation order.
+/// Completed and open spans, in creation order. Call after joining any
+/// worker threads that may still be recording.
 [[nodiscard]] const std::vector<SpanRecord>& spans() noexcept;
 
 /// Nanoseconds of monotonic time since the last reset().

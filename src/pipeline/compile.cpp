@@ -1,5 +1,7 @@
 #include "pipeline/compile.h"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "alloc/clique.h"
@@ -15,6 +17,7 @@
 #include "sched/sdppo.h"
 #include "sched/simulator.h"
 #include "sdf/analysis.h"
+#include "util/thread_pool.h"
 
 namespace sdf {
 namespace {
@@ -137,7 +140,7 @@ CompileResult compile(const Graph& g, const CompileOptions& options) {
   return compile_with_order(g, order, options);
 }
 
-Table1Row table1_row(const Graph& g) {
+Table1Row table1_row(const Graph& g, int jobs) {
   Table1Row row;
   row.system = g.name();
   row.bmlb = bmlb(g);
@@ -161,7 +164,12 @@ Table1Row table1_row(const Graph& g) {
        &row.ffdur_a, &row.ffstart_a},
   };
 
-  for (Side& side : sides) {
+  // The two sides are independent pipelines writing disjoint cells, so
+  // they fan out across the pool; the row is deterministic either way.
+  std::optional<util::ThreadPool> pool;
+  if (jobs > 1) pool.emplace(std::min(jobs, 2));
+  util::parallel_for(pool ? &*pool : nullptr, 2, [&](std::size_t i) {
+    Side& side = sides[i];
     *side.dppo_cell = dppo(g, q, side.order).cost;
 
     CompileOptions opts;
@@ -176,7 +184,7 @@ Table1Row table1_row(const Graph& g) {
     *side.ffstart_cell =
         first_fit(shared.wig, shared.lifetimes, FirstFitOrder::kByStartTime)
             .total_size;
-  }
+  });
   return row;
 }
 

@@ -94,7 +94,9 @@ struct Table1Row {
   }
 };
 
-/// Evaluates all Table 1 columns for a system.
-[[nodiscard]] Table1Row table1_row(const Graph& g);
+/// Evaluates all Table 1 columns for a system. With `jobs > 1` the two
+/// independent sides (RPMC- and APGAN-ordered pipelines) run concurrently;
+/// the row is identical for any value of `jobs`.
+[[nodiscard]] Table1Row table1_row(const Graph& g, int jobs = 1);
 
 }  // namespace sdf

@@ -1,6 +1,9 @@
 #include "pipeline/explore.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
 
 #include "alloc/first_fit.h"
 #include "alloc/intersection_graph.h"
@@ -8,11 +11,24 @@
 #include "merge/buffer_merge.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "pipeline/explore_cache.h"
 #include "sched/nappearance.h"
 #include "sched/simulator.h"
+#include "util/thread_pool.h"
 
 namespace sdf {
 namespace {
+
+/// Canonical enumeration order of the sweep; the reduction emits points in
+/// exactly this nesting, so parallel runs reproduce the serial output.
+constexpr OrderHeuristic kOrders[] = {OrderHeuristic::kApgan,
+                                      OrderHeuristic::kRpmc,
+                                      OrderHeuristic::kRpmcMultistart};
+constexpr LoopOptimizer kOptimizers[] = {LoopOptimizer::kSdppo,
+                                         LoopOptimizer::kDppo,
+                                         LoopOptimizer::kFlat};
+constexpr std::size_t kNumOrders = std::size(kOrders);
+constexpr std::size_t kNumOptimizers = std::size(kOptimizers);
 
 std::string order_name(OrderHeuristic order) {
   switch (order) {
@@ -54,57 +70,126 @@ std::int64_t shared_size_of(const Graph& g, const Repetitions& q,
       first_fit(wig, lifetimes, FirstFitOrder::kByStartTime).total_size);
 }
 
+/// One independent unit of the fan-out: everything downstream of the
+/// memoized base compile for a fixed (order, optimizer, budget).
+struct TaskSpec {
+  OrderHeuristic order;
+  LoopOptimizer optimizer;
+  std::int64_t budget;
+};
+
+/// A design point plus the schedule that produced it (kept out of
+/// DesignPoint so the reduction can decide what to retain).
+struct Evaluated {
+  DesignPoint point;
+  Schedule schedule;
+};
+
+/// Evaluates the 0..2 design points of one task, reading only immutable
+/// inputs and the (computed-once) cache — safe from any worker thread.
+std::vector<Evaluated> evaluate_task(const Graph& g, const Repetitions& q,
+                                     const CodeSizeModel& model,
+                                     bool try_merging, ExploreCache& cache,
+                                     const TaskSpec& task) {
+  std::vector<Evaluated> out;
+  const CompileResult& base = cache.base(task.order, task.optimizer);
+
+  Schedule schedule = base.schedule;
+  std::string suffix;
+  if (task.budget > 0) {
+    const NAppearanceResult relaxed =
+        relax_appearances(g, q, base.schedule, task.budget);
+    if (relaxed.rewrites == 0) return out;  // same point as budget 0
+    schedule = relaxed.schedule;
+    suffix = "+nap" + std::to_string(task.budget);
+  }
+  // n-appearance schedules are no longer SAS; the lifetime pipeline
+  // requires single appearances, so those points report the non-shared
+  // cost as their memory (the honest implementable number without
+  // per-instance lifetime support).
+  const bool sas = schedule.is_single_appearance(g.num_actors());
+  for (const bool merge : {false, true}) {
+    if (merge && (!try_merging || !sas)) continue;
+    DesignPoint point;
+    point.strategy = order_name(task.order) + "+" +
+                     optimizer_name(task.optimizer) + suffix +
+                     (merge ? "+merge" : "");
+    point.code_size = inline_code_size(schedule, model);
+    point.nonshared_memory = simulate(g, schedule).buffer_memory;
+    point.shared_memory = sas ? shared_size_of(g, q, schedule, merge)
+                              : point.nonshared_memory;
+    out.push_back(Evaluated{std::move(point), schedule});
+    if (!sas) break;  // merge loop meaningless without lifetimes
+  }
+  return out;
+}
+
 }  // namespace
 
 ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
   const obs::Span span("pipeline.explore");
-  ExploreResult result;
+  const auto wall_start = std::chrono::steady_clock::now();
+
   CodeSizeModel model = options.model;
   if (model.actor_size.empty()) model = CodeSizeModel::uniform(g, 10);
-
   const Repetitions q = repetitions_vector(g);
-  for (const OrderHeuristic order :
-       {OrderHeuristic::kApgan, OrderHeuristic::kRpmc,
-        OrderHeuristic::kRpmcMultistart}) {
-    for (const LoopOptimizer optimizer :
-         {LoopOptimizer::kSdppo, LoopOptimizer::kDppo,
-          LoopOptimizer::kFlat}) {
-      CompileOptions copts;
-      copts.order = order;
-      copts.optimizer = optimizer;
-      const CompileResult base = compile(g, copts);
 
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(kNumOrders * kNumOptimizers *
+                options.appearance_budgets.size());
+  for (const OrderHeuristic order : kOrders) {
+    for (const LoopOptimizer optimizer : kOptimizers) {
       for (const std::int64_t budget : options.appearance_budgets) {
-        Schedule schedule = base.schedule;
-        std::string suffix;
-        if (budget > 0) {
-          const NAppearanceResult relaxed =
-              relax_appearances(g, q, base.schedule, budget);
-          if (relaxed.rewrites == 0) continue;  // same point as budget 0
-          schedule = relaxed.schedule;
-          suffix = "+nap" + std::to_string(budget);
-        }
-        // n-appearance schedules are no longer SAS; the lifetime pipeline
-        // requires single appearances, so those points report the
-        // non-shared cost as their memory (the honest implementable
-        // number without per-instance lifetime support).
-        const bool sas = schedule.is_single_appearance(g.num_actors());
-        for (const bool merge : {false, true}) {
-          if (merge && (!options.try_merging || !sas)) continue;
-          DesignPoint point;
-          point.strategy = order_name(order) + "+" +
-                           optimizer_name(optimizer) + suffix +
-                           (merge ? "+merge" : "");
-          point.schedule = schedule;
-          point.code_size = inline_code_size(schedule, model);
-          point.nonshared_memory = simulate(g, schedule).buffer_memory;
-          point.shared_memory =
-              sas ? shared_size_of(g, q, schedule, merge)
-                  : point.nonshared_memory;
-          result.points.push_back(std::move(point));
-          if (!sas) break;  // merge loop meaningless without lifetimes
-        }
+        tasks.push_back(TaskSpec{order, optimizer, budget});
       }
+    }
+  }
+
+  ExploreCache cache(g);
+  const int jobs = util::ThreadPool::resolve_jobs(options.jobs);
+  std::optional<util::ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+  util::ThreadPool* workers = pool ? &*pool : nullptr;
+
+  // Phase 1+2: warm the memo cache breadth-first — all orderings, then all
+  // loop-DP bases — so the point fan-out below never duplicates a compile
+  // (and the cache miss count is exactly #orderings + #bases, independent
+  // of thread count).
+  {
+    const obs::Span warm("pipeline.explore.warm_orders");
+    util::parallel_for(workers, kNumOrders,
+                       [&](std::size_t i) { (void)cache.lexorder(kOrders[i]); });
+  }
+  {
+    const obs::Span warm("pipeline.explore.warm_bases");
+    util::parallel_for(workers, kNumOrders * kNumOptimizers,
+                       [&](std::size_t i) {
+                         (void)cache.base(kOrders[i / kNumOptimizers],
+                                          kOptimizers[i % kNumOptimizers]);
+                       });
+  }
+
+  // Phase 3: fan the independent design points out across the pool. Each
+  // task writes its own pre-sized slot; no cross-task communication.
+  std::vector<std::vector<Evaluated>> evaluated(tasks.size());
+  {
+    const obs::Span fan("pipeline.explore.points");
+    util::parallel_for(workers, tasks.size(), [&](std::size_t i) {
+      const obs::Span point_span("pipeline.explore.point");
+      evaluated[i] = evaluate_task(g, q, model, options.try_merging, cache,
+                                   tasks[i]);
+    });
+  }
+  pool.reset();  // join workers before the single-threaded reduction
+
+  // Deterministic reduction: concatenate per-task results in enumeration
+  // order. Schedules are kept aside so `points` can stay schedule-free.
+  ExploreResult result;
+  std::vector<Schedule> schedules;
+  for (std::vector<Evaluated>& task_points : evaluated) {
+    for (Evaluated& e : task_points) {
+      result.points.push_back(std::move(e.point));
+      schedules.push_back(std::move(e.schedule));
     }
   }
 
@@ -123,7 +208,8 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
       }
     }
   }
-  for (const DesignPoint& p : result.points) {
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const DesignPoint& p = result.points[i];
     if (!p.pareto) continue;
     const bool duplicate =
         std::any_of(result.frontier.begin(), result.frontier.end(),
@@ -131,7 +217,9 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
                       return f.code_size == p.code_size &&
                              f.shared_memory == p.shared_memory;
                     });
-    if (!duplicate) result.frontier.push_back(p);
+    if (duplicate) continue;
+    result.frontier.push_back(p);
+    result.frontier.back().schedule = schedules[i];
   }
   std::sort(result.frontier.begin(), result.frontier.end(),
             [](const DesignPoint& a, const DesignPoint& b) {
@@ -140,10 +228,30 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
               }
               return a.shared_memory < b.shared_memory;
             });
+  if (options.keep_point_schedules) {
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+      result.points[i].schedule = std::move(schedules[i]);
+    }
+  }
+
   obs::count("pipeline.explore.points",
              static_cast<std::int64_t>(result.points.size()));
   obs::gauge("pipeline.explore.frontier_size",
              static_cast<std::int64_t>(result.frontier.size()));
+  obs::count("pipeline.explore.cache_hit", cache.hits());
+  obs::count("pipeline.explore.cache_miss", cache.misses());
+  if (obs::enabled()) {
+    obs::gauge("pipeline.explore.jobs", jobs);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (secs > 0.0) {
+      obs::gauge("pipeline.explore.points_per_sec",
+                 static_cast<std::int64_t>(
+                     static_cast<double>(result.points.size()) / secs));
+    }
+  }
   return result;
 }
 

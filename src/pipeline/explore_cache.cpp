@@ -1,0 +1,80 @@
+#include "pipeline/explore_cache.h"
+
+#include <stdexcept>
+
+#include "sched/apgan.h"
+#include "sched/rpmc.h"
+#include "sdf/analysis.h"
+#include "sdf/repetitions.h"
+
+namespace sdf {
+namespace {
+
+std::size_t order_index(OrderHeuristic order) {
+  const auto i = static_cast<std::size_t>(order);
+  if (i >= 4) throw std::logic_error("ExploreCache: bad order heuristic");
+  return i;
+}
+
+std::size_t optimizer_index(LoopOptimizer optimizer) {
+  const auto i = static_cast<std::size_t>(optimizer);
+  if (i >= 4) throw std::logic_error("ExploreCache: bad loop optimizer");
+  return i;
+}
+
+}  // namespace
+
+const std::vector<ActorId>& ExploreCache::lexorder(OrderHeuristic order) {
+  OrderSlot& slot = orders_[order_index(order)];
+  bool computed = false;
+  std::call_once(slot.once, [&] {
+    const Repetitions q = repetitions_vector(graph_);
+    switch (order) {
+      case OrderHeuristic::kApgan:
+        slot.value = apgan(graph_, q).lexorder;
+        break;
+      case OrderHeuristic::kRpmc:
+        slot.value = rpmc(graph_, q).lexorder;
+        break;
+      case OrderHeuristic::kRpmcMultistart:
+        slot.value = rpmc_multistart(graph_, q).lexorder;
+        break;
+      case OrderHeuristic::kTopological: {
+        const auto sorted = topological_sort(graph_);
+        if (!sorted) {
+          throw std::invalid_argument("ExploreCache: graph is cyclic");
+        }
+        slot.value = *sorted;
+        break;
+      }
+    }
+    computed = true;
+  });
+  if (computed) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slot.value;
+}
+
+const CompileResult& ExploreCache::base(OrderHeuristic order,
+                                        LoopOptimizer optimizer) {
+  BaseSlot& slot = bases_[order_index(order)][optimizer_index(optimizer)];
+  bool computed = false;
+  std::call_once(slot.once, [&] {
+    CompileOptions options;
+    options.order = order;
+    options.optimizer = optimizer;
+    slot.value = compile_with_order(graph_, lexorder(order), options);
+    computed = true;
+  });
+  if (computed) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slot.value;
+}
+
+}  // namespace sdf

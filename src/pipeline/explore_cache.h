@@ -1,0 +1,76 @@
+// Keyed memo cache for design-space exploration.
+//
+// The explore sweep evaluates |orders| x |optimizers| x |budgets| x
+// {merge} design points, but only |orders| lexical orderings and
+// |orders| x |optimizers| loop-DP results are actually distinct — the
+// appearance-budget / merging / fit-order variants all start from the same
+// compiled base. This cache computes each ordering and each base compile
+// exactly once and shares it (by const reference) across every variant and
+// every worker thread.
+//
+// Thread safety: each slot is guarded by a std::once_flag, so concurrent
+// lookups of the same key block until the single computation finishes and
+// then all observe the same value. Returned references stay valid for the
+// cache's lifetime. Hit/miss counts are deterministic for a fixed set of
+// lookups regardless of thread count or interleaving: misses == distinct
+// keys computed, hits == lookups - misses (a caller that merely *waited*
+// on another thread's computation still counts the lookup as a hit — the
+// work was not repeated).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "pipeline/compile.h"
+#include "sdf/graph.h"
+
+namespace sdf {
+
+class ExploreCache {
+ public:
+  /// Borrows `g`; the graph must outlive the cache.
+  explicit ExploreCache(const Graph& g) : graph_(g) {}
+
+  ExploreCache(const ExploreCache&) = delete;
+  ExploreCache& operator=(const ExploreCache&) = delete;
+
+  /// The lexical ordering for `order`, computed once per heuristic.
+  const std::vector<ActorId>& lexorder(OrderHeuristic order);
+
+  /// The compiled base (schedule, DP estimate, lifetimes, allocation) for
+  /// (order, optimizer), computed once via the cached lexorder and shared
+  /// const across all budget/merging/fit-order variants.
+  const CompileResult& base(OrderHeuristic order, LoopOptimizer optimizer);
+
+  /// Lookups that found (or waited on) an already-keyed computation.
+  [[nodiscard]] std::int64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  /// Lookups that ran the computation (== distinct keys touched).
+  [[nodiscard]] std::int64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kOrders = 4;      ///< OrderHeuristic values
+  static constexpr std::size_t kOptimizers = 4;  ///< LoopOptimizer values
+
+  struct OrderSlot {
+    std::once_flag once;
+    std::vector<ActorId> value;
+  };
+  struct BaseSlot {
+    std::once_flag once;
+    CompileResult value;
+  };
+
+  const Graph& graph_;
+  OrderSlot orders_[kOrders];
+  BaseSlot bases_[kOrders][kOptimizers];
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+};
+
+}  // namespace sdf

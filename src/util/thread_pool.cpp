@@ -1,0 +1,115 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace sdf::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait();  // drain: destruction never drops submitted work
+  stop_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  if (obs::enabled()) {
+    obs::count("util.thread_pool.tasks", executed_.load());
+    obs::count("util.thread_pool.steals", steals_.load());
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t slot = next_.fetch_add(1) % workers_.size();
+  pending_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lock(workers_[slot]->mu);
+    workers_[slot]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  std::function<void()> task;
+  // Own queue first, newest task (LIFO keeps the cache warm) ...
+  {
+    Worker& own = *workers_[self];
+    const std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // ... then steal the oldest task from a sibling.
+  if (!task) {
+    for (std::size_t k = 1; k < workers_.size() && !task; ++k) {
+      Worker& victim = *workers_[(self + k) % workers_.size()];
+      const std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!task) return false;
+  queued_.fetch_sub(1);
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1) == 1) {
+    const std::lock_guard<std::mutex> lock(idle_mu_);
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  while (true) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load() || queued_.load() > 0;
+    });
+    if (stop_.load() && queued_.load() == 0) return;
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  done_cv_.wait(lock, [this] { return pending_.load() == 0; });
+}
+
+int ThreadPool::resolve_jobs(int requested) noexcept {
+  if (requested > 0) return requested;
+  if (requested < 0) return hardware_jobs();
+  const char* env = std::getenv("SDFMEM_JOBS");
+  if (env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 1;
+}
+
+int ThreadPool::hardware_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace sdf::util

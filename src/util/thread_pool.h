@@ -1,0 +1,121 @@
+// A small work-stealing thread pool for the design-space exploration
+// fan-out (and any other embarrassingly parallel sweep in the library).
+//
+// Design: one double-ended task queue per worker. submit() round-robins
+// tasks across the workers' queues; a worker pops from the back of its own
+// queue (LIFO, cache-warm) and, when empty, steals from the *front* of a
+// sibling's queue (FIFO, oldest task — the classic Blumofe/Leiserson
+// discipline, here with a per-queue mutex instead of a lock-free deque:
+// task bodies in this library run for micro- to milliseconds, so queue
+// operations are nowhere near the critical path).
+//
+// Determinism contract: the pool runs tasks in a nondeterministic order on
+// nondeterministic threads — callers that need deterministic results must
+// write into pre-sized per-index slots and reduce in index order after
+// wait() returns (see parallel_for and pipeline/explore.cpp). wait()
+// provides the happens-before edge: everything task i wrote is visible to
+// the caller once wait() returns.
+//
+// Telemetry: when the obs session is enabled the pool counts
+// `util.thread_pool.tasks` and `util.thread_pool.steals` (see
+// docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace sdf::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers. Pending tasks are still executed before exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues a task. Safe from any thread, including from inside a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far (including tasks spawned by
+  /// tasks) has finished. Establishes happens-before with their effects.
+  void wait();
+
+  /// Resolves a requested job count: `requested > 0` wins; otherwise the
+  /// SDFMEM_JOBS environment variable (when set to a positive integer);
+  /// otherwise 1 (serial — the default keeps single-threaded semantics
+  /// unless parallelism is asked for). `requested < 0` means "use all
+  /// hardware threads".
+  [[nodiscard]] static int resolve_jobs(int requested) noexcept;
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static int hardware_jobs() noexcept;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_run_one(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;   ///< wakes sleeping workers
+  std::condition_variable done_cv_;   ///< wakes wait()
+  std::atomic<std::size_t> queued_{0};   ///< tasks sitting in some deque
+  std::atomic<std::size_t> pending_{0};  ///< queued + currently running
+  std::atomic<std::size_t> next_{0};     ///< round-robin submit cursor
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> steals_{0};
+  std::atomic<std::int64_t> executed_{0};
+};
+
+/// Runs fn(0) ... fn(n-1), fanning out across `pool` when it has more than
+/// one worker (and inline otherwise — the serial path executes in index
+/// order on the calling thread, bit-identical to a plain loop). Blocks
+/// until all iterations finish. If iterations throw, the exception of the
+/// *lowest* index is rethrown (deterministic regardless of scheduling).
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool->submit([i, &fn, &errors] {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool->wait();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace sdf::util

@@ -42,11 +42,23 @@ TEST(Explore, FrontierIsPareto) {
 TEST(Explore, SchedulesAreAllValid) {
   const Graph g = qmf23(2);
   const Repetitions q = repetitions_vector(g);
-  const ExploreResult r = explore_designs(g);
+  ExploreOptions options;
+  options.keep_point_schedules = true;  // points drop schedules by default
+  const ExploreResult r = explore_designs(g, options);
   for (const DesignPoint& p : r.points) {
     EXPECT_TRUE(is_valid_schedule(g, q, p.schedule)) << p.strategy;
     EXPECT_EQ(simulate(g, p.schedule).buffer_memory, p.nonshared_memory)
         << p.strategy;
+  }
+}
+
+TEST(Explore, FrontierAlwaysCarriesItsSchedules) {
+  const Graph g = qmf23(2);
+  const Repetitions q = repetitions_vector(g);
+  const ExploreResult r = explore_designs(g);  // default: lean points
+  ASSERT_FALSE(r.frontier.empty());
+  for (const DesignPoint& f : r.frontier) {
+    EXPECT_TRUE(is_valid_schedule(g, q, f.schedule)) << f.strategy;
   }
 }
 

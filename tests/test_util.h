@@ -1,15 +1,31 @@
-// Shared helpers for the sdfmem test suite: the paper's figure graphs and
-// oracles used by several test files.
+// Shared helpers for the sdfmem test suite: the paper's figure graphs,
+// the seeded random-graph source, and oracles used by several test files.
 #pragma once
 
 #include <cstdint>
+#include <random>
 #include <vector>
 
+#include "graphs/random_sdf.h"
 #include "sched/schedule.h"
 #include "sdf/graph.h"
 #include "sdf/repetitions.h"
 
 namespace sdf::testing {
+
+/// The one source of random SDF graphs for the test suite: a seeded,
+/// consistent, connected, acyclic multirate graph. Both the fuzz sweep
+/// (test_fuzz.cpp) and the parallel-exploration differential tests
+/// (test_explore_parallel.cpp) draw from here so they cover the same
+/// distribution. Same seed => same graph, on every platform.
+inline Graph random_consistent_graph(std::uint32_t seed, int num_actors = 8,
+                                     double extra_edge_ratio = 0.5) {
+  RandomSdfOptions options;
+  options.num_actors = num_actors;
+  options.extra_edge_ratio = extra_edge_ratio;
+  std::mt19937 rng(seed);
+  return random_sdf_graph(options, rng);
+}
 
 /// Fig. 1: A -(2/1,D1)-> B -(1/3)-> C  with one delay on (A,B).
 /// (The delay is omitted when `with_delay` is false; the paper's bufmem
