@@ -12,7 +12,9 @@
 #include "lifetime/schedule_tree.h"
 #include "pipeline/compile.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "Allocator ablation (all on the RPMC+sdppo schedule's lifetimes)\n\n"
@@ -44,4 +46,10 @@ int main() {
   }
   std::printf("\n('-' = instance too large for the exact solver)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

@@ -10,7 +10,9 @@
 #include "merge/buffer_merge.h"
 #include "pipeline/compile.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "Buffer merging ablation (consume-before-produce model)\n\n"
@@ -43,4 +45,10 @@ int main() {
       "input before writing output (the optimistic CBP); real actor\n"
       "libraries would annotate CBP per block.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

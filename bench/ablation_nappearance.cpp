@@ -7,7 +7,9 @@
 #include "pipeline/compile.h"
 #include "sched/nappearance.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "n-appearance trade-off: buffer memory vs extra code blocks\n\n"
@@ -29,4 +31,10 @@ int main() {
       "\neach column allows that many extra appearances over the SAS;\n"
       "rewrites interleave innermost producer/consumer loop pairs.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

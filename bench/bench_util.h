@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sdf/diagnostics.h"
 
 #include "graphs/filterbank.h"
 #include "graphs/ptolemy.h"
@@ -100,5 +103,33 @@ class JsonTrajectory {
   std::string path_;
   obs::Json results_;
 };
+
+/// Entry-point wrapper shared by the experiment drivers. The drivers are
+/// configured through SDFMEM_* environment variables, so any positional
+/// argument is a mistake — reject it with a usage message instead of
+/// silently ignoring it. Uncaught errors are funneled through the
+/// structured taxonomy and mapped to the CLI's exit codes
+/// (docs/ERRORS.md) instead of aborting via std::terminate.
+inline int run_driver(int argc, char** argv, int (*body)()) {
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "usage: %s\n"
+                 "  takes no arguments; configure runs via SDFMEM_*"
+                 " environment variables\n"
+                 "  (SDFMEM_BENCH_JSON, SDFMEM_BENCH_REPEAT, ... --"
+                 " see docs/ERRORS.md)\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    const Diagnostic diag = diagnostic_from_exception(e);
+    std::fprintf(stderr, "error[%s]: %s\n",
+                 std::string(error_code_name(diag.code)).c_str(),
+                 diag.message.c_str());
+    return exit_code_for(diag.code);
+  }
+}
 
 }  // namespace sdf::bench

@@ -8,7 +8,9 @@
 #include "codegen/code_size.h"
 #include "pipeline/compile.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "blocking sweep: shared pool tokens (and loop iterations per minimal "
@@ -33,4 +35,10 @@ int main() {
       "minimal period stay fixed — blocking pays only when per-iteration\n"
       "control overhead (not modeled here) dominates.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

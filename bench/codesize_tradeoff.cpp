@@ -16,7 +16,9 @@
 #include "sched/nappearance.h"
 #include "sched/sas.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "code+buffer trade-off (uniform 10-unit blocks, inline model)\n\n"
@@ -56,4 +58,10 @@ int main() {
       "\nC = inline code units, B = non-shared buffer tokens; '-' = firing\n"
       "sequence too long for the optimal looping DP.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

@@ -7,7 +7,9 @@
 #include "bench_util.h"
 #include "pipeline/explore.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   for (const Graph& g : bench::table1_systems()) {
     const ExploreResult r = explore_designs(g);
@@ -25,4 +27,10 @@ int main() {
       "both axes. n-appearance points report non-shared memory (their\n"
       "schedules repeat actors, outside the SAS lifetime model).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

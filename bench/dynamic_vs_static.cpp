@@ -13,7 +13,9 @@
 #include "sched/demand_driven.h"
 #include "sdf/repetitions.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "Static SAS vs dynamic demand-driven scheduling\n\n"
@@ -43,4 +45,10 @@ int main() {
       "price is a schedule of sum(q) firings with no loop structure\n"
       "(paper: dynamic scheduling up to 2x slower at run time).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

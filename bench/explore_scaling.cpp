@@ -59,7 +59,9 @@ double best_of_ms(const sdf::Graph& g, int jobs, int repeat,
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   bench::JsonTrajectory traj("explore_scaling");
   obs::Json rows = obs::Json::array();
@@ -124,4 +126,10 @@ int main() {
       "and frontier byte-for-byte.\n",
       repeat);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

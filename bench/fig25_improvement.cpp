@@ -8,7 +8,9 @@
 #include "bench_util.h"
 #include "pipeline/compile.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf("Fig. 25: %% improvement of shared over non-shared\n\n");
   bench::JsonTrajectory traj("fig25_improvement");
@@ -29,4 +31,10 @@ int main() {
   std::printf("\n(each # = 2%%; paper range: ~27%% to 83%%)\n");
   if (traj.active()) traj.results()["rows"] = std::move(rows);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

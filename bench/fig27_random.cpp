@@ -66,7 +66,9 @@ PerGraph evaluate(const sdf::Graph& g) {
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   const int graphs_per_size = bench::env_int("SDFMEM_RANDOM_GRAPHS", 100);
   std::printf("Fig. 27: random-graph study (%d graphs per size)\n\n",
@@ -116,4 +118,10 @@ int main() {
       "\npaper reference: (a) drops from ~20%% at 20 nodes to ~5%% at "
       "100-150 nodes;\n(b,c) 2-4%%; (d) <0.5%%; (f) RPMC wins 52-60%%.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

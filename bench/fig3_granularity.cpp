@@ -10,7 +10,9 @@
 #include "pipeline/compile.h"
 #include "sched/simulator.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "Coarse vs fine buffer-sharing models (Fig. 3)\n\n"
@@ -38,4 +40,10 @@ int main() {
       "the paper adopts the coarse model because finer granularities cost\n"
       "pointer/allocation complexity at run time (Sec. 5).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

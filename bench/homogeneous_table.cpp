@@ -9,7 +9,9 @@
 #include "graphs/homogeneous.h"
 #include "pipeline/compile.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "Homogeneous mesh study (Fig. 26)\n\n"
@@ -42,4 +44,10 @@ int main() {
                             ? "all entries match the paper's closed forms"
                             : "MISMATCH against the paper's closed forms");
   return all_match ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

@@ -10,6 +10,8 @@
 #include "sched/dppo.h"
 #include "sched/io_buffering.h"
 #include "sched/sas.h"
+
+#include "bench_util.h"
 #include "sdf/analysis.h"
 
 namespace {
@@ -26,7 +28,9 @@ void report(const sdf::Graph& g, const sdf::Repetitions& q,
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   {
     const Graph g = cd_to_dat();
@@ -57,4 +61,10 @@ int main() {
         "  the nested schedule's true requirement is far smaller.\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

@@ -30,7 +30,9 @@ std::int64_t shared_size_for_order(const sdf::Graph& g,
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   const int trials = bench::env_int("SDFMEM_RANDSORT_TRIALS", 200);
   std::printf(
@@ -87,4 +89,10 @@ int main() {
       "only; on ~200-node\nbanks random search stayed well behind "
       "(79 vs 58, 8011 vs 5690 after 100 trials).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

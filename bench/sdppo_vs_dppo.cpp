@@ -22,7 +22,9 @@ std::int64_t best_ff(const sdf::CompileResult& res) {
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "Allocating the sdppo schedule vs the dppo schedule (Sec. 10.1)\n\n"
@@ -57,4 +59,10 @@ int main() {
       "~8%%)\n",
       sum_gain / count, max_gain);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

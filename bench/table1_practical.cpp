@@ -8,7 +8,9 @@
 #include "bench_util.h"
 #include "pipeline/compile.h"
 
-int main() {
+namespace {
+
+int run() {
   using namespace sdf;
   std::printf(
       "Table 1: shared vs non-shared buffer memory on practical systems\n"
@@ -67,4 +69,10 @@ int main() {
     traj.results()["max_improvement"] = improvement_max;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, run);
 }

@@ -16,11 +16,22 @@
 // negative N means one worker per hardware thread. Output is byte-identical
 // for every jobs value.
 //
+// Resource governance (docs/ERRORS.md): `--deadline-ms N` and
+// `--dp-mem-mb N` install a per-run ResourceGovernor; a tripped budget
+// degrades the loop optimizer (chainx -> sdppo -> dppo -> flat) instead of
+// failing, and the degradation chain is reported in the output and in the
+// trace file. `--json` switches errors to a machine-readable
+// {"error": {code, message, loc}} object on stdout; exit codes are per
+// ErrorCode (0 ok, 2 usage, 11..21 — see docs/ERRORS.md). The
+// SDFMEM_FAULTS / SDFMEM_FAULT_SEED environment variables arm deterministic
+// fault injection (util/fault.h).
+//
 // With no graph file, a built-in demo (the satellite receiver) is used so
 // the tool is runnable out of the box.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,19 +42,26 @@
 #include "obs/trace.h"
 #include "pipeline/compile.h"
 #include "pipeline/explore.h"
+#include "pipeline/governor.h"
 #include "lifetime/schedule_tree.h"
+#include "sdf/diagnostics.h"
 #include "sdf/dot.h"
 #include "sdf/io.h"
 #include "sdf/transform.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace {
 
+constexpr int kUsageExit = 2;
+
 void usage() {
-  std::fprintf(stderr,
-               "usage: sdfmem_cli "
-               "<report|schedule|codegen|dump|explore|gantt|dot|hsdf|stats> "
-               "[graph.sdf] [--trace file.json] [--jobs N]\n");
+  std::fprintf(
+      stderr,
+      "usage: sdfmem_cli "
+      "<report|schedule|codegen|dump|explore|gantt|dot|hsdf|stats> "
+      "[graph.sdf] [--trace file.json] [--jobs N]\n"
+      "                  [--deadline-ms N] [--dp-mem-mb N] [--json]\n");
 }
 
 /// Prints the collected spans (indented by depth) and all counters/gauges.
@@ -69,8 +87,32 @@ void print_stats() {
   }
 }
 
+/// Emits one diagnostic the way the run was asked to: a {"error": ...}
+/// object on stdout under --json, a human line on stderr otherwise.
+/// Returns the process exit code for the diagnostic.
+int report_error(const sdf::Diagnostic& diag, bool json) {
+  using namespace sdf;
+  if (json) {
+    obs::Json doc = obs::Json::object();
+    doc["error"] = diagnostic_to_json(diag);
+    std::printf("%s\n", doc.dump(2).c_str());
+  } else {
+    std::fprintf(stderr, "error[%s]: %s\n",
+                 std::string(error_code_name(diag.code)).c_str(),
+                 diag.message.c_str());
+    if (!diag.actor.empty()) {
+      std::fprintf(stderr, "  actor: %s\n", diag.actor.c_str());
+    }
+    if (!diag.edge.empty()) {
+      std::fprintf(stderr, "  edge: %s\n", diag.edge.c_str());
+    }
+  }
+  return exit_code_for(diag.code);
+}
+
 /// Builds the telemetry report with graph context and writes it to `path`.
-bool write_trace(const std::string& path, const sdf::Graph& g) {
+bool write_trace(const std::string& path, const sdf::Graph& g,
+                 const std::string& degraded_from, bool order_degraded) {
   using namespace sdf;
   obs::Json doc = obs::report();
   doc["tool"] = "sdfmem_cli";
@@ -79,11 +121,27 @@ bool write_trace(const std::string& path, const sdf::Graph& g) {
   graph["actors"] = static_cast<std::int64_t>(g.num_actors());
   graph["edges"] = static_cast<std::int64_t>(g.num_edges());
   doc["graph"] = std::move(graph);
+  if (!degraded_from.empty()) doc["degraded_from"] = degraded_from;
+  if (order_degraded) doc["order_degraded"] = true;
   if (!obs::write_file(path, doc)) {
     std::fprintf(stderr, "error: cannot write trace file %s\n", path.c_str());
     return false;
   }
   return true;
+}
+
+/// Parses a positive integer flag value; nullopt (after a usage message)
+/// when the text is not a non-negative integer.
+std::optional<std::int64_t> parse_count(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got %s\n",
+                 flag, text);
+    usage();
+    return std::nullopt;
+  }
+  return v;
 }
 
 }  // namespace
@@ -94,20 +152,44 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::string trace_path;
   int jobs_flag = 0;  // 0 = $SDFMEM_JOBS or serial
+  ResourceBudget budget;
+  bool json_errors = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
       if (i + 1 >= argc) {
         usage();
-        return 2;
+        return kUsageExit;
       }
       trace_path = argv[++i];
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) {
         usage();
-        return 2;
+        return kUsageExit;
       }
       jobs_flag = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--deadline-ms", argv[++i]);
+      if (!v) return kUsageExit;
+      budget.deadline_ms = *v;
+    } else if (arg == "--dp-mem-mb") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--dp-mem-mb", argv[++i]);
+      if (!v) return kUsageExit;
+      budget.dp_mem_bytes = *v * 1024 * 1024;
+    } else if (arg == "--json") {
+      json_errors = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      usage();
+      return kUsageExit;
     } else {
       positional.push_back(arg);
     }
@@ -119,7 +201,13 @@ int main(int argc, char** argv) {
       mode != "dump" && mode != "explore" && mode != "gantt" &&
       mode != "dot" && mode != "hsdf" && mode != "stats") {
     usage();
-    return 2;
+    return kUsageExit;
+  }
+
+  try {
+    fault::configure_from_env();
+  } catch (const std::exception& e) {
+    return report_error(diagnostic_from_exception(e), json_errors);
   }
 
   Graph g;
@@ -127,14 +215,32 @@ int main(int argc, char** argv) {
     g = positional.size() > 1 ? load_graph(positional[1])
                               : satellite_receiver();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return report_error(diagnostic_from_exception(e), json_errors);
   }
 
   if (!trace_path.empty() || mode == "stats") {
     obs::set_enabled(true);
     obs::reset();
   }
+
+  // The governor is installed for everything downstream of parsing; a
+  // tripped budget degrades the compile (see pipeline/compile.cpp), and
+  // only a trip at the ladder's floor surfaces as resource-exhausted.
+  ResourceGovernor governor(budget);
+  const ResourceGovernor::Scope governed(governor);
+
+  std::string degraded_from;
+  bool order_degraded = false;
+  const auto note_degradation = [&](const CompileResult& res) {
+    degraded_from = res.degradation_path();
+    order_degraded = res.order_degraded;
+    if (!degraded_from.empty() && !json_errors) {
+      std::fprintf(stderr, "note: optimizer degraded (%s -> %s)\n",
+                   degraded_from.c_str(),
+                   std::string(optimizer_name(res.effective_optimizer))
+                       .c_str());
+    }
+  };
 
   try {
     if (mode == "dump") {
@@ -147,6 +253,7 @@ int main(int argc, char** argv) {
       std::cout << write_graph_text(x.graph);
     } else if (mode == "stats") {
       const CompileResult res = compile(g);
+      note_degradation(res);
       std::printf("graph:          %s (%zu actors, %zu edges)\n",
                   g.name().c_str(), g.num_actors(), g.num_edges());
       std::printf("schedule:       %s\n", res.schedule.to_string(g).c_str());
@@ -154,12 +261,17 @@ int main(int argc, char** argv) {
                   static_cast<long long>(res.nonshared_bufmem));
       std::printf("shared pool:    %lld tokens\n",
                   static_cast<long long>(res.shared_size));
+      if (!degraded_from.empty()) {
+        std::printf("degraded from:  %s\n", degraded_from.c_str());
+      }
       print_stats();
     } else if (mode == "schedule") {
       const CompileResult res = compile(g);
+      note_degradation(res);
       std::cout << res.schedule.to_string(g) << "\n";
     } else if (mode == "gantt") {
       const CompileResult res = compile(g);
+      note_degradation(res);
       const ScheduleTree tree(g, res.schedule);
       std::cout << res.schedule.to_string(g) << "\n"
                 << lifetime_gantt(g, res.lifetimes, tree.total_duration(),
@@ -170,17 +282,25 @@ int main(int argc, char** argv) {
       const ExploreResult r = explore_designs(g, eopts);
       std::printf("%zu strategies; pareto frontier:\n", r.points.size());
       for (const DesignPoint& p : r.frontier) {
-        std::printf("  code %6lld  sharedMem %6lld   %s\n",
+        std::printf("  code %6lld  sharedMem %6lld   %s%s%s\n",
                     static_cast<long long>(p.code_size),
                     static_cast<long long>(p.shared_memory),
-                    p.strategy.c_str());
+                    p.strategy.c_str(),
+                    p.degraded_from.empty() ? "" : "  degraded:",
+                    p.degraded_from.c_str());
+      }
+      if (r.points_dropped > 0) {
+        std::fprintf(stderr, "note: %lld design point(s) dropped (budget)\n",
+                     static_cast<long long>(r.points_dropped));
       }
     } else if (mode == "codegen") {
       const CompileResult res = compile(g);
+      note_degradation(res);
       std::cout << generate_c_source(g, res.q, res.schedule, res.lifetimes,
                                      res.allocation);
     } else {
       const CompileResult res = compile(g);
+      note_degradation(res);
       const Table1Row row = table1_row(g, jobs);
       std::printf("graph:          %s (%zu actors, %zu edges)\n",
                   g.name().c_str(), g.num_actors(), g.num_edges());
@@ -194,10 +314,12 @@ int main(int argc, char** argv) {
       std::printf("improvement:    %.1f%%\n", row.improvement_percent());
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return report_error(diagnostic_from_exception(e), json_errors);
   }
 
-  if (!trace_path.empty() && !write_trace(trace_path, g)) return 1;
+  if (!trace_path.empty() &&
+      !write_trace(trace_path, g, degraded_from, order_degraded)) {
+    return 1;
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "lifetime/schedule_tree.h"
+#include "pipeline/governor.h"
 #include "sched/apgan.h"
 #include "sched/chain_dp.h"
 #include "sched/bounds.h"
@@ -17,6 +18,7 @@
 #include "sched/sdppo.h"
 #include "sched/simulator.h"
 #include "sdf/analysis.h"
+#include "sdf/diagnostics.h"
 #include "util/thread_pool.h"
 
 namespace sdf {
@@ -33,20 +35,98 @@ std::vector<ActorId> choose_order(const Graph& g, const Repetitions& q,
       return rpmc_multistart(g, q).lexorder;
     case OrderHeuristic::kTopological: {
       const auto order = topological_sort(g);
-      if (!order) throw std::invalid_argument("compile: graph is cyclic");
+      if (!order) throw CyclicGraphError("compile: graph is cyclic");
       return *order;
     }
   }
-  throw std::logic_error("compile: unknown order heuristic");
+  throw InternalError("compile: unknown order heuristic");
+}
+
+/// Runs one rung of the ladder; throws ResourceExhaustedError when a
+/// governor budget (or injected fault) trips inside the optimizer.
+void run_optimizer(const Graph& g, const Repetitions& q,
+                   const std::vector<ActorId>& order,
+                   LoopOptimizer optimizer, CompileResult& result) {
+  switch (optimizer) {
+    case LoopOptimizer::kDppo: {
+      DppoResult r = dppo(g, q, order);
+      result.schedule = std::move(r.schedule);
+      result.dp_estimate = r.cost;
+      return;
+    }
+    case LoopOptimizer::kSdppo: {
+      SdppoResult r = sdppo(g, q, order);
+      result.schedule = std::move(r.schedule);
+      result.dp_estimate = r.estimate;
+      return;
+    }
+    case LoopOptimizer::kChainExact: {
+      if (chain_order(g).has_value()) {
+        ChainDpResult r = chain_sdppo_exact(g, q, order);
+        result.schedule = std::move(r.schedule);
+        result.dp_estimate = r.estimate;
+      } else {
+        SdppoResult r = sdppo(g, q, order);
+        result.schedule = std::move(r.schedule);
+        result.dp_estimate = r.estimate;
+      }
+      return;
+    }
+    case LoopOptimizer::kFlat: {
+      result.schedule = flat_sas(g, q, order);
+      result.dp_estimate = 0;
+      return;
+    }
+  }
+  throw InternalError("compile: unknown loop optimizer");
 }
 
 }  // namespace
+
+std::string_view order_name(OrderHeuristic order) noexcept {
+  switch (order) {
+    case OrderHeuristic::kApgan: return "apgan";
+    case OrderHeuristic::kRpmc: return "rpmc";
+    case OrderHeuristic::kRpmcMultistart: return "rpmc*";
+    case OrderHeuristic::kTopological: return "topo";
+  }
+  return "?";
+}
+
+std::string_view optimizer_name(LoopOptimizer optimizer) noexcept {
+  switch (optimizer) {
+    case LoopOptimizer::kDppo: return "dppo";
+    case LoopOptimizer::kSdppo: return "sdppo";
+    case LoopOptimizer::kChainExact: return "chainx";
+    case LoopOptimizer::kFlat: return "flat";
+  }
+  return "?";
+}
+
+std::optional<LoopOptimizer> degrade_step(LoopOptimizer optimizer) noexcept {
+  switch (optimizer) {
+    case LoopOptimizer::kChainExact: return LoopOptimizer::kSdppo;
+    case LoopOptimizer::kSdppo: return LoopOptimizer::kDppo;
+    case LoopOptimizer::kDppo: return LoopOptimizer::kFlat;
+    case LoopOptimizer::kFlat: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string CompileResult::degradation_path() const {
+  std::string path;
+  for (const LoopOptimizer rung : degraded_from) {
+    if (!path.empty()) path += ">";
+    path += optimizer_name(rung);
+  }
+  return path;
+}
 
 CompileResult compile_with_order(const Graph& g,
                                  const std::vector<ActorId>& order,
                                  const CompileOptions& options) {
   if (options.blocking_factor < 1) {
-    throw std::invalid_argument("compile: blocking_factor must be >= 1");
+    throw BadArgumentError("compile: blocking_factor must be >= 1");
   }
   const obs::Span span("pipeline.compile");
   CompileResult result;
@@ -56,35 +136,25 @@ CompileResult compile_with_order(const Graph& g,
 
   {
     const obs::Span dp_span("pipeline.stage.loop_dp");
-    switch (options.optimizer) {
-      case LoopOptimizer::kDppo: {
-        DppoResult r = dppo(g, result.q, order);
-        result.schedule = std::move(r.schedule);
-        result.dp_estimate = r.cost;
+    // The graceful-degradation ladder: when a governor budget (or an
+    // injected fault) trips inside an optimizer, retry with the next
+    // cheaper rung. kFlat never consults the governor, so the ladder
+    // always terminates with a valid schedule.
+    LoopOptimizer rung = options.optimizer;
+    result.effective_optimizer = rung;
+    for (;;) {
+      try {
+        run_optimizer(g, result.q, order, rung, result);
+        result.effective_optimizer = rung;
         break;
-      }
-      case LoopOptimizer::kSdppo: {
-        SdppoResult r = sdppo(g, result.q, order);
-        result.schedule = std::move(r.schedule);
-        result.dp_estimate = r.estimate;
-        break;
-      }
-      case LoopOptimizer::kChainExact: {
-        if (chain_order(g).has_value()) {
-          ChainDpResult r = chain_sdppo_exact(g, result.q, order);
-          result.schedule = std::move(r.schedule);
-          result.dp_estimate = r.estimate;
-        } else {
-          SdppoResult r = sdppo(g, result.q, order);
-          result.schedule = std::move(r.schedule);
-          result.dp_estimate = r.estimate;
-        }
-        break;
-      }
-      case LoopOptimizer::kFlat: {
-        result.schedule = flat_sas(g, result.q, order);
-        result.dp_estimate = 0;
-        break;
+      } catch (const ResourceExhaustedError&) {
+        const std::optional<LoopOptimizer> next = degrade_step(rung);
+        if (!next) throw;  // already at the floor; nothing cheaper to try
+        result.degraded_from.push_back(rung);
+        obs::count("pipeline.compile.degraded");
+        obs::count(std::string("pipeline.compile.degraded.") +
+                   std::string(optimizer_name(rung)));
+        rung = *next;
       }
     }
   }
@@ -93,8 +163,8 @@ CompileResult compile_with_order(const Graph& g,
     const obs::Span sim_span("pipeline.stage.simulate");
     const SimulationResult sim = simulate(g, result.schedule);
     if (!sim.valid) {
-      throw std::runtime_error("compile: generated schedule is invalid: " +
-                               sim.error);
+      throw InternalError("compile: generated schedule is invalid: " +
+                          sim.error);
     }
     result.nonshared_bufmem = sim.buffer_memory;
   }
@@ -133,11 +203,33 @@ CompileResult compile_with_order(const Graph& g,
 CompileResult compile(const Graph& g, const CompileOptions& options) {
   const Repetitions q = repetitions_vector(g);
   std::vector<ActorId> order;
+  bool order_degraded = false;
   {
     const obs::Span order_span("pipeline.stage.order");
-    order = choose_order(g, q, options.order);
+    try {
+      order = choose_order(g, q, options.order);
+    } catch (const ResourceExhaustedError&) {
+      // An ordering heuristic (e.g. rpmc* evaluating sdppo estimates)
+      // tripped a budget. The deterministic Kahn order costs O(V + E)
+      // and never consults the governor, so degrade to it.
+      if (options.order == OrderHeuristic::kTopological) throw;
+      obs::count("pipeline.compile.order_degraded");
+      order = choose_order(g, q, OrderHeuristic::kTopological);
+      order_degraded = true;
+    }
   }
-  return compile_with_order(g, order, options);
+  CompileResult result = compile_with_order(g, order, options);
+  result.order_degraded = order_degraded;
+  return result;
+}
+
+Result<CompileResult> compile_checked(const Graph& g,
+                                      const CompileOptions& options) {
+  try {
+    return Result<CompileResult>(compile(g, options));
+  } catch (const std::exception& e) {
+    return Result<CompileResult>(diagnostic_from_exception(e));
+  }
 }
 
 Table1Row table1_row(const Graph& g, int jobs) {

@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+#include <string_view>
+
 #include "alloc/allocation.h"
 #include "alloc/first_fit.h"
 #include "alloc/intersection_graph.h"
@@ -14,6 +17,7 @@
 #include "sched/schedule.h"
 #include "sdf/graph.h"
 #include "sdf/repetitions.h"
+#include "util/status.h"
 
 namespace sdf {
 
@@ -30,6 +34,20 @@ enum class LoopOptimizer {
   kChainExact,  ///< Sec. 6 exact chain DP; falls back to SDPPO off-chain
   kFlat,        ///< keep the flat SAS (Ritz-style baseline)
 };
+
+/// Stable short names ("apgan", "rpmc", "rpmc*", "topo") used in strategy
+/// strings, telemetry and the CLI.
+[[nodiscard]] std::string_view order_name(OrderHeuristic order) noexcept;
+/// Stable short names ("dppo", "sdppo", "chainx", "flat").
+[[nodiscard]] std::string_view optimizer_name(LoopOptimizer optimizer)
+    noexcept;
+
+/// The graceful-degradation ladder: the next-cheaper loop optimizer to
+/// retry with when a resource budget trips (kChainExact -> kSdppo ->
+/// kDppo -> kFlat), or nullopt for kFlat — the floor, which never
+/// consults the governor and therefore always completes.
+[[nodiscard]] std::optional<LoopOptimizer> degrade_step(
+    LoopOptimizer optimizer) noexcept;
 
 struct CompileOptions {
   OrderHeuristic order = OrderHeuristic::kRpmc;
@@ -57,6 +75,21 @@ struct CompileResult {
   std::int64_t mcw_optimistic = 0;
   std::int64_t mcw_pessimistic = 0;
   std::int64_t bmlb = 0;
+
+  /// The optimizer that actually produced `schedule`. Equal to the
+  /// requested one unless a resource budget (or injected fault) tripped
+  /// and the ladder stepped down.
+  LoopOptimizer effective_optimizer = LoopOptimizer::kSdppo;
+  /// The rungs abandoned on the way to `effective_optimizer`, in trip
+  /// order; empty for an undegraded compile.
+  std::vector<LoopOptimizer> degraded_from;
+  /// True when the ordering heuristic itself tripped a budget and the
+  /// deterministic Kahn order was used instead.
+  bool order_degraded = false;
+
+  /// "chainx>sdppo" — the `degraded_from` chain as a stable string for
+  /// telemetry and the `degraded_from` JSON field; "" when undegraded.
+  [[nodiscard]] std::string degradation_path() const;
 };
 
 /// Runs the full pipeline. Requires a consistent, connected-or-not, acyclic
@@ -69,6 +102,13 @@ struct CompileResult {
 [[nodiscard]] CompileResult compile_with_order(
     const Graph& g, const std::vector<ActorId>& order,
     const CompileOptions& options = {});
+
+/// The pipeline boundary: compile() with every in-flight exception
+/// converted to a structured Diagnostic (util/status.h, docs/ERRORS.md)
+/// instead of unwinding into the caller. Resource-budget trips still
+/// degrade internally; only non-recoverable failures surface here.
+[[nodiscard]] Result<CompileResult> compile_checked(
+    const Graph& g, const CompileOptions& options = {});
 
 /// One row of the paper's Table 1: every column for one system.
 struct Table1Row {

@@ -14,6 +14,8 @@
 #include "pipeline/explore_cache.h"
 #include "sched/nappearance.h"
 #include "sched/simulator.h"
+#include "util/fault.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace sdf {
@@ -30,25 +32,13 @@ constexpr LoopOptimizer kOptimizers[] = {LoopOptimizer::kSdppo,
 constexpr std::size_t kNumOrders = std::size(kOrders);
 constexpr std::size_t kNumOptimizers = std::size(kOptimizers);
 
-std::string order_name(OrderHeuristic order) {
-  switch (order) {
-    case OrderHeuristic::kApgan: return "apgan";
-    case OrderHeuristic::kRpmc: return "rpmc";
-    case OrderHeuristic::kRpmcMultistart: return "rpmc*";
-    case OrderHeuristic::kTopological: return "topo";
-  }
-  return "?";
-}
-
-std::string optimizer_name(LoopOptimizer optimizer) {
-  switch (optimizer) {
-    case LoopOptimizer::kDppo: return "dppo";
-    case LoopOptimizer::kSdppo: return "sdppo";
-    case LoopOptimizer::kChainExact: return "chainx";
-    case LoopOptimizer::kFlat: return "flat";
-  }
-  return "?";
-}
+// Fault-context salts: every logical unit of the sweep (warm-order i,
+// warm-base i, point task i) gets a context key that depends only on its
+// enumeration index, never on which worker runs it — injected faults fire
+// at the same unit for any `jobs`, keeping the sweep byte-identical.
+constexpr std::uint64_t kWarmOrderSalt = 0x1000000;
+constexpr std::uint64_t kWarmBaseSalt = 0x2000000;
+constexpr std::uint64_t kPointSalt = 0x3000000;
 
 /// Shared-memory size of a schedule: lifetimes + best-of-two first-fit
 /// orders, optionally after CBP merging.
@@ -111,9 +101,10 @@ std::vector<Evaluated> evaluate_task(const Graph& g, const Repetitions& q,
   for (const bool merge : {false, true}) {
     if (merge && (!try_merging || !sas)) continue;
     DesignPoint point;
-    point.strategy = order_name(task.order) + "+" +
-                     optimizer_name(task.optimizer) + suffix +
+    point.strategy = std::string(order_name(task.order)) + "+" +
+                     std::string(optimizer_name(task.optimizer)) + suffix +
                      (merge ? "+merge" : "");
+    point.degraded_from = base.degradation_path();
     point.code_size = inline_code_size(schedule, model);
     point.nonshared_memory = simulate(g, schedule).buffer_memory;
     point.shared_memory = sas ? shared_size_of(g, q, schedule, merge)
@@ -157,27 +148,43 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
   // of thread count).
   {
     const obs::Span warm("pipeline.explore.warm_orders");
-    util::parallel_for(workers, kNumOrders,
-                       [&](std::size_t i) { (void)cache.lexorder(kOrders[i]); });
+    util::parallel_for(workers, kNumOrders, [&](std::size_t i) {
+      const fault::Context fault_ctx(kWarmOrderSalt + i);
+      (void)cache.lexorder(kOrders[i]);
+    });
   }
   {
     const obs::Span warm("pipeline.explore.warm_bases");
     util::parallel_for(workers, kNumOrders * kNumOptimizers,
                        [&](std::size_t i) {
+                         const fault::Context fault_ctx(kWarmBaseSalt + i);
                          (void)cache.base(kOrders[i / kNumOptimizers],
                                           kOptimizers[i % kNumOptimizers]);
                        });
   }
 
   // Phase 3: fan the independent design points out across the pool. Each
-  // task writes its own pre-sized slot; no cross-task communication.
+  // task writes its own pre-sized slot; no cross-task communication. A
+  // task whose evaluation trips a budget (or injected fault) is dropped —
+  // its slot stays empty and the drop is tallied after the join, so the
+  // surviving points and the drop count are identical for any `jobs`.
   std::vector<std::vector<Evaluated>> evaluated(tasks.size());
+  std::vector<char> dropped(tasks.size(), 0);
   {
     const obs::Span fan("pipeline.explore.points");
     util::parallel_for(workers, tasks.size(), [&](std::size_t i) {
       const obs::Span point_span("pipeline.explore.point");
-      evaluated[i] = evaluate_task(g, q, model, options.try_merging, cache,
-                                   tasks[i]);
+      const fault::Context fault_ctx(kPointSalt + i);
+      try {
+        if (fault::should_fail("explore_point")) {
+          throw ResourceExhaustedError(
+              "explore: injected fault at point task " + std::to_string(i));
+        }
+        evaluated[i] = evaluate_task(g, q, model, options.try_merging, cache,
+                                     tasks[i]);
+      } catch (const ResourceExhaustedError&) {
+        dropped[i] = 1;
+      }
     });
   }
   pool.reset();  // join workers before the single-threaded reduction
@@ -191,6 +198,10 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
       result.points.push_back(std::move(e.point));
       schedules.push_back(std::move(e.schedule));
     }
+  }
+  for (const char d : dropped) result.points_dropped += d;
+  if (result.points_dropped > 0) {
+    obs::count("pipeline.explore.points_dropped", result.points_dropped);
   }
 
   // Pareto: minimize both axes; dedupe identical (code, memory) pairs.

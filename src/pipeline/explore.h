@@ -51,11 +51,19 @@ struct DesignPoint {
   /// otherwise left default-constructed.
   Schedule schedule;
   bool pareto = false;  ///< on the (code, memory) frontier
+  /// Degradation chain of the base compile ("chainx>sdppo"; see
+  /// CompileResult::degradation_path). Empty when no resource budget or
+  /// injected fault tripped while producing this point.
+  std::string degraded_from;
 };
 
 struct ExploreResult {
   std::vector<DesignPoint> points;   ///< all evaluated points
   std::vector<DesignPoint> frontier; ///< pareto subset, sorted by code size
+  /// Tasks abandoned because a resource budget (or injected fault) tripped
+  /// mid-evaluation. Deterministic for a fixed governor budget and fault
+  /// seed, whatever `jobs` is.
+  std::int64_t points_dropped = 0;
 };
 
 /// Evaluates every strategy combination on a consistent acyclic graph.

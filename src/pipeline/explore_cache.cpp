@@ -2,24 +2,32 @@
 
 #include <stdexcept>
 
+#include "obs/counters.h"
 #include "sched/apgan.h"
 #include "sched/rpmc.h"
 #include "sdf/analysis.h"
 #include "sdf/repetitions.h"
+#include "util/status.h"
 
 namespace sdf {
 namespace {
 
 std::size_t order_index(OrderHeuristic order) {
   const auto i = static_cast<std::size_t>(order);
-  if (i >= 4) throw std::logic_error("ExploreCache: bad order heuristic");
+  if (i >= 4) throw InternalError("ExploreCache: bad order heuristic");
   return i;
 }
 
 std::size_t optimizer_index(LoopOptimizer optimizer) {
   const auto i = static_cast<std::size_t>(optimizer);
-  if (i >= 4) throw std::logic_error("ExploreCache: bad loop optimizer");
+  if (i >= 4) throw InternalError("ExploreCache: bad loop optimizer");
   return i;
+}
+
+std::vector<ActorId> kahn_order(const Graph& g) {
+  const auto sorted = topological_sort(g);
+  if (!sorted) throw CyclicGraphError("ExploreCache: graph is cyclic");
+  return *sorted;
 }
 
 }  // namespace
@@ -29,24 +37,28 @@ const std::vector<ActorId>& ExploreCache::lexorder(OrderHeuristic order) {
   bool computed = false;
   std::call_once(slot.once, [&] {
     const Repetitions q = repetitions_vector(graph_);
-    switch (order) {
-      case OrderHeuristic::kApgan:
-        slot.value = apgan(graph_, q).lexorder;
-        break;
-      case OrderHeuristic::kRpmc:
-        slot.value = rpmc(graph_, q).lexorder;
-        break;
-      case OrderHeuristic::kRpmcMultistart:
-        slot.value = rpmc_multistart(graph_, q).lexorder;
-        break;
-      case OrderHeuristic::kTopological: {
-        const auto sorted = topological_sort(graph_);
-        if (!sorted) {
-          throw std::invalid_argument("ExploreCache: graph is cyclic");
-        }
-        slot.value = *sorted;
-        break;
+    // A heuristic that trips a resource budget (rpmc* runs sdppo
+    // estimates internally) degrades to the deterministic Kahn order so
+    // the sweep still covers the slot. The degraded order is memoized, so
+    // every variant of the slot sees the same ordering.
+    try {
+      switch (order) {
+        case OrderHeuristic::kApgan:
+          slot.value = apgan(graph_, q).lexorder;
+          break;
+        case OrderHeuristic::kRpmc:
+          slot.value = rpmc(graph_, q).lexorder;
+          break;
+        case OrderHeuristic::kRpmcMultistart:
+          slot.value = rpmc_multistart(graph_, q).lexorder;
+          break;
+        case OrderHeuristic::kTopological:
+          slot.value = kahn_order(graph_);
+          break;
       }
+    } catch (const ResourceExhaustedError&) {
+      obs::count("pipeline.explore.order_degraded");
+      slot.value = kahn_order(graph_);
     }
     computed = true;
   });

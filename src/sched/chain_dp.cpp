@@ -5,9 +5,11 @@
 #include <stdexcept>
 
 #include "obs/counters.h"
+#include "pipeline/governor.h"
 #include "sched/dppo.h"
 #include "sched/sas.h"
 #include "sdf/analysis.h"
+#include "util/status.h"
 
 namespace sdf {
 namespace {
@@ -113,10 +115,10 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
                                 const std::vector<ActorId>& order,
                                 std::size_t max_incomparable) {
   if (order.empty() || order.size() != g.num_actors()) {
-    throw std::invalid_argument("chain_sdppo_exact: bad order");
+    throw BadOrderError("chain_sdppo_exact: bad order");
   }
   if (!is_topological_order(g, order)) {
-    throw std::invalid_argument("chain_sdppo_exact: order not topological");
+    throw BadOrderError("chain_sdppo_exact: order not topological");
   }
   const std::size_t n = order.size();
   const SplitCosts costs(g, q, order);
@@ -130,12 +132,22 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
   }
   result.max_pareto_width = 1;
 
+  // Resource governance: the table is the DP's dominant allocation, so
+  // every cell's Pareto entries are charged against the governor's memory
+  // budget, and each cell is a cooperative deadline checkpoint. A trip
+  // throws ResourceExhaustedError and the degradation ladder in
+  // pipeline/compile.cpp retries with a cheaper optimizer.
+  DpMemoryCharge charge("sched.chain_dp");
+  charge.add(static_cast<std::int64_t>(n * n) *
+             static_cast<std::int64_t>(sizeof(std::vector<Entry>)));
+
   PruneStats prune;
   std::int64_t cells = 0;
   std::int64_t triples = 0;
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
+      governor_checkpoint("sched.chain_dp");
       const std::int64_t gij = costs.gij(i, j);
       auto& cell = table[i][j];
       ++cells;
@@ -160,6 +172,8 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
       }
       result.max_pareto_width = std::max(result.max_pareto_width,
                                          cell.size());
+      charge.add(static_cast<std::int64_t>(cell.size()) *
+                 static_cast<std::int64_t>(sizeof(Entry)));
     }
   }
   obs::count("sched.chain_dp.cells", cells);
@@ -202,7 +216,7 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
 ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q) {
   const auto order = chain_order(g);
   if (!order) {
-    throw std::invalid_argument(
+    throw BadArgumentError(
         "chain_sdppo_exact: graph is not chain-structured");
   }
   return chain_sdppo_exact(g, q, *order);

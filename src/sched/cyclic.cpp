@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sched/apgan.h"
+#include "util/status.h"
 #include "sched/rpmc.h"
 #include "sched/simulator.h"
 #include "sdf/analysis.h"
@@ -154,10 +155,12 @@ CyclicScheduleResult schedule_cyclic(const Graph& g,
       invocations[ic] = 1;
     }
     if (!seq) {
-      throw std::runtime_error(
-          "schedule_cyclic: component containing actor '" +
-          g.actor(members[ic].front()).name +
-          "' deadlocks (insufficient initial tokens)");
+      Diagnostic diag;
+      diag.message = "schedule_cyclic: component containing actor '" +
+                     g.actor(members[ic].front()).name +
+                     "' deadlocks (insufficient initial tokens)";
+      diag.actor = g.actor(members[ic].front()).name;
+      throw DeadlockError(std::move(diag));
     }
     bodies[ic] = compress(*seq);
   }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sched/bounds.h"
+#include "util/status.h"
 #include "sdf/analysis.h"
 
 namespace sdf {
@@ -127,7 +128,7 @@ DemandDrivenResult demand_driven_schedule(const Graph& g,
       }
     }
     if (best == kInvalidActor) {
-      throw std::runtime_error(
+      throw DeadlockError(
           "demand_driven_schedule: deadlock after " +
           std::to_string(fired) + " firings");
     }

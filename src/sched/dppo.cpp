@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "obs/counters.h"
+#include "pipeline/governor.h"
 #include "sdf/analysis.h"
+#include "util/status.h"
 
 namespace sdf {
 namespace {
@@ -89,10 +91,17 @@ std::int64_t SplitCosts::edge_count(std::size_t i, std::size_t k,
 DppoResult dppo(const Graph& g, const Repetitions& q,
                 const std::vector<ActorId>& order) {
   if (!is_topological_order(g, order)) {
-    throw std::invalid_argument("dppo: order is not a topological order");
+    throw BadOrderError("dppo: order is not a topological order");
   }
   const std::size_t n = order.size();
   const SplitCosts costs(g, q, order);
+
+  // Governance: the two n*n tables are charged up front; each cell is a
+  // cooperative deadline checkpoint (see pipeline/governor.h).
+  DpMemoryCharge charge("sched.dppo");
+  charge.add(static_cast<std::int64_t>(n * n) *
+             static_cast<std::int64_t>(sizeof(std::int64_t) +
+                                       sizeof(std::size_t)));
 
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
   std::vector<std::vector<std::int64_t>> b(n,
@@ -105,6 +114,7 @@ DppoResult dppo(const Graph& g, const Repetitions& q,
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
+      governor_checkpoint("sched.dppo");
       std::int64_t best = kInf;
       std::size_t best_k = i;
       for (std::size_t k = i; k < j; ++k) {

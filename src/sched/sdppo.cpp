@@ -5,18 +5,27 @@
 #include <stdexcept>
 
 #include "obs/counters.h"
+#include "pipeline/governor.h"
 #include "sched/dppo.h"
 #include "sdf/analysis.h"
+#include "util/status.h"
 
 namespace sdf {
 
 SdppoResult sdppo(const Graph& g, const Repetitions& q,
                   const std::vector<ActorId>& order) {
   if (!is_topological_order(g, order)) {
-    throw std::invalid_argument("sdppo: order is not a topological order");
+    throw BadOrderError("sdppo: order is not a topological order");
   }
   const std::size_t n = order.size();
   const SplitCosts costs(g, q, order);
+
+  // Governance: tables charged up front, one deadline checkpoint per cell
+  // (see pipeline/governor.h). A trip degrades via pipeline/compile.cpp.
+  DpMemoryCharge charge("sched.sdppo");
+  charge.add(static_cast<std::int64_t>(n * n) *
+             static_cast<std::int64_t>(sizeof(std::int64_t) +
+                                       sizeof(std::size_t)));
 
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
   std::vector<std::vector<std::int64_t>> b(n,
@@ -29,6 +38,7 @@ SdppoResult sdppo(const Graph& g, const Repetitions& q,
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
+      governor_checkpoint("sched.sdppo");
       ++cells;
       split_candidates += static_cast<std::int64_t>(len) - 1;
       std::int64_t best = kInf;

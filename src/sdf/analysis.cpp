@@ -5,6 +5,8 @@
 #include <stack>
 #include <stdexcept>
 
+#include "util/status.h"
+
 namespace sdf {
 namespace {
 
@@ -120,7 +122,7 @@ std::vector<ActorId> random_topological_sort(const Graph& g,
     }
   }
   if (order.size() != g.num_actors()) {
-    throw std::invalid_argument("random_topological_sort: graph is cyclic");
+    throw CyclicGraphError("random_topological_sort: graph is cyclic");
   }
   return order;
 }

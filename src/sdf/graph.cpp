@@ -3,6 +3,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/status.h"
+
 namespace sdf {
 
 ActorId Graph::add_actor(std::string name) {
@@ -15,13 +17,13 @@ ActorId Graph::add_actor(std::string name) {
 EdgeId Graph::add_edge(ActorId src, ActorId snk, std::int64_t prod,
                        std::int64_t cns, std::int64_t delay) {
   if (!valid_actor(src) || !valid_actor(snk)) {
-    throw std::invalid_argument("Graph::add_edge: invalid actor id");
+    throw BadArgumentError("Graph::add_edge: invalid actor id");
   }
   if (prod <= 0 || cns <= 0) {
-    throw std::invalid_argument("Graph::add_edge: rates must be positive");
+    throw BadArgumentError("Graph::add_edge: rates must be positive");
   }
   if (delay < 0) {
-    throw std::invalid_argument("Graph::add_edge: delay must be non-negative");
+    throw BadArgumentError("Graph::add_edge: delay must be non-negative");
   }
   edges_.push_back(Edge{src, snk, prod, cns, delay});
   const auto id = static_cast<EdgeId>(edges_.size() - 1);

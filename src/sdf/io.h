@@ -18,15 +18,16 @@
 
 namespace sdf {
 
-/// Parses the text format. Throws std::invalid_argument with a line number
-/// on malformed input.
+/// Parses the text format. Throws ParseError (a std::invalid_argument
+/// carrying a Diagnostic with 1-based line/column and the offending
+/// actor/edge — see util/status.h) on malformed input.
 [[nodiscard]] Graph parse_graph_text(std::string_view text);
 
 /// Serializes a graph; parse_graph_text(write_graph_text(g)) reproduces
 /// the same actors/edges in order.
 [[nodiscard]] std::string write_graph_text(const Graph& g);
 
-/// File helpers (throw std::runtime_error on I/O failure).
+/// File helpers (throw IoError, a std::runtime_error, on I/O failure).
 [[nodiscard]] Graph load_graph(const std::string& path);
 void save_graph(const Graph& g, const std::string& path);
 

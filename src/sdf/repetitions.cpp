@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sdf/rational.h"
+#include "util/status.h"
 
 namespace sdf {
 namespace {
@@ -13,7 +14,7 @@ std::int64_t lcm_checked(std::int64_t a, std::int64_t b) {
   const std::int64_t g = std::gcd(a, b);
   std::int64_t r = 0;
   if (__builtin_mul_overflow(a / g, b, &r)) {
-    throw std::overflow_error("repetitions: lcm overflow");
+    throw ArithmeticOverflowError("repetitions: lcm overflow");
   }
   return r;
 }
@@ -80,7 +81,7 @@ ConsistencyResult analyze_consistency(const Graph& g) {
       const Rational& r = rate[static_cast<std::size_t>(component[i])];
       std::int64_t v = 0;
       if (__builtin_mul_overflow(r.num(), denom_lcm / r.den(), &v)) {
-        throw std::overflow_error("repetitions: scaling overflow");
+        throw ArithmeticOverflowError("repetitions: scaling overflow");
       }
       scaled[i] = v;
       num_gcd = std::gcd(num_gcd, v);
@@ -98,8 +99,15 @@ ConsistencyResult analyze_consistency(const Graph& g) {
 Repetitions repetitions_vector(const Graph& g) {
   ConsistencyResult r = analyze_consistency(g);
   if (!r.consistent) {
-    throw std::runtime_error("repetitions_vector: graph '" + g.name() +
-                             "' is sample-rate inconsistent");
+    Diagnostic diag;
+    diag.message = "repetitions_vector: graph '" + g.name() +
+                   "' is sample-rate inconsistent";
+    if (r.offending_edge != kInvalidEdge) {
+      const Edge& e = g.edge(r.offending_edge);
+      diag.edge = g.actor(e.src).name + "->" + g.actor(e.snk).name;
+      diag.message += " at edge " + diag.edge;
+    }
+    throw InconsistentError(std::move(diag));
   }
   return std::move(r.repetitions);
 }
@@ -109,7 +117,7 @@ std::int64_t tnse(const Graph& g, const Repetitions& q, EdgeId e) {
   std::int64_t r = 0;
   if (__builtin_mul_overflow(edge.prod,
                              q[static_cast<std::size_t>(edge.src)], &r)) {
-    throw std::overflow_error("tnse: overflow");
+    throw ArithmeticOverflowError("tnse: overflow");
   }
   return r;
 }

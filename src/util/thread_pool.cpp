@@ -1,9 +1,11 @@
 #include "util/thread_pool.h"
 
 #include <cstdlib>
+#include <system_error>
 
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 
 namespace sdf::util {
 
@@ -13,8 +15,24 @@ ThreadPool::ThreadPool(int threads) {
   for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    threads_.emplace_back(
-        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+    // Spawn failures (std::system_error from the OS, or the pool_spawn
+    // injection site) degrade to a smaller pool instead of failing the
+    // whole sweep: work-stealing drains every queue with however many
+    // workers actually started, and determinism never depends on pool
+    // size. A pool that ends up with zero threads still makes progress —
+    // wait() runs queued tasks on the calling thread.
+    try {
+      if (fault::should_fail("pool_spawn")) {
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "thread_pool: injected spawn failure");
+      }
+      threads_.emplace_back(
+          [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+    } catch (const std::system_error&) {
+      obs::count("util.thread_pool.spawn_failures");
+      break;  // keep the workers we have; excess queues are steal targets
+    }
   }
 }
 
@@ -92,6 +110,12 @@ void ThreadPool::worker_loop(std::size_t self) {
 }
 
 void ThreadPool::wait() {
+  // Degenerate pool (every spawn failed): the waiting thread drains the
+  // queues itself, so submitted work still runs and wait() terminates.
+  if (threads_.empty()) {
+    while (pending_.load() > 0 && try_run_one(0)) {
+    }
+  }
   std::unique_lock<std::mutex> lock(idle_mu_);
   done_cv_.wait(lock, [this] { return pending_.load() == 0; });
 }

@@ -46,9 +46,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Number of worker threads.
+  /// Number of worker queues (the requested width). Live threads may be
+  /// fewer when spawning failed — see threads().
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(workers_.size());
+  }
+
+  /// Number of successfully spawned worker threads. Less than size() when
+  /// the OS refused a spawn (or the `pool_spawn` fault site fired); the
+  /// pool degrades rather than failing, and 0 is survivable — wait()
+  /// drains the queues on the calling thread.
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(threads_.size());
   }
 
   /// Enqueues a task. Safe from any thread, including from inside a task.
