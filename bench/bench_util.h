@@ -92,8 +92,12 @@ class JsonTrajectory {
     obs::Json doc = obs::report();
     doc["tool"] = tool_;
     doc["results"] = std::move(results_);
-    if (!obs::write_file(path_, doc)) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+    // A short write (ENOSPC, closed pipe) must not masquerade as a
+    // trajectory file: surface the structured diagnostic on stderr.
+    if (const auto diag = obs::write_file_checked(path_, doc)) {
+      std::fprintf(stderr, "error[%s]: %s\n",
+                   std::string(error_code_name(diag->code)).c_str(),
+                   diag->message.c_str());
     }
     obs::set_enabled(false);
   }

@@ -5,6 +5,19 @@
 //   sdfmem_cli codegen  [graph.sdf]   # emit threaded C on stdout
 //   sdfmem_cli dump     [graph.sdf]   # echo the parsed graph
 //   sdfmem_cli stats    [graph.sdf]   # per-stage wall times + counters
+//   sdfmem_cli batch  <jobs> --out d  # crash-safe batch over .sdf jobs
+//   sdfmem_cli resume <journal>       # finish an interrupted batch
+//
+// Batch mode (docs/DURABILITY.md): `<jobs>` is a directory of .sdf files,
+// a single .sdf file, or a manifest listing graph paths. Progress is
+// journaled to `--journal <path>` (default <out>/batch.journal) so a
+// crash or SIGINT/SIGTERM at any point is resumable with `resume`; the
+// resumed outputs are byte-identical to an uninterrupted run. `--retries
+// N` retries transiently faulted explore tasks with `--backoff-ms B`
+// exponential backoff; `--watchdog on` requeues exhausted tasks at the
+// degraded flat tier instead of dropping them. An interrupted run exits
+// with the documented "interrupted" code (23); a batch with failed jobs
+// exits 1 after draining everything else.
 //
 // Every subcommand accepts `--trace <file.json>`: telemetry is enabled for
 // the run and a `sdfmem.telemetry.v1` report (see docs/OBSERVABILITY.md)
@@ -40,6 +53,7 @@
 #include "obs/counters.h"
 #include "obs/json_report.h"
 #include "obs/trace.h"
+#include "pipeline/batch.h"
 #include "pipeline/compile.h"
 #include "pipeline/explore.h"
 #include "pipeline/governor.h"
@@ -49,6 +63,7 @@
 #include "sdf/io.h"
 #include "sdf/transform.h"
 #include "util/fault.h"
+#include "util/shutdown.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -61,7 +76,11 @@ void usage() {
       "usage: sdfmem_cli "
       "<report|schedule|codegen|dump|explore|gantt|dot|hsdf|stats> "
       "[graph.sdf] [--trace file.json] [--jobs N]\n"
-      "                  [--deadline-ms N] [--dp-mem-mb N] [--json]\n");
+      "                  [--deadline-ms N] [--dp-mem-mb N] [--json]\n"
+      "       sdfmem_cli batch <jobs-dir|manifest|graph.sdf> --out <dir>\n"
+      "                  [--journal file] [--retries N] [--backoff-ms N]\n"
+      "                  [--watchdog on|off] [--jobs N] [...]\n"
+      "       sdfmem_cli resume <journal> [--jobs N]\n");
 }
 
 /// Prints the collected spans (indented by depth) and all counters/gauges.
@@ -110,24 +129,44 @@ int report_error(const sdf::Diagnostic& diag, bool json) {
   return exit_code_for(diag.code);
 }
 
-/// Builds the telemetry report with graph context and writes it to `path`.
-bool write_trace(const std::string& path, const sdf::Graph& g,
-                 const std::string& degraded_from, bool order_degraded) {
+/// Builds the telemetry report (with graph context, when a graph is in
+/// play) and writes it to `path`. A write failure — ENOSPC, closed pipe,
+/// unwritable path — comes back as a structured kIo diagnostic for
+/// report_error() instead of a silently truncated report.
+std::optional<sdf::Diagnostic> write_trace(const std::string& path,
+                                           const sdf::Graph* g,
+                                           const std::string& degraded_from,
+                                           bool order_degraded) {
   using namespace sdf;
   obs::Json doc = obs::report();
   doc["tool"] = "sdfmem_cli";
-  obs::Json graph = obs::Json::object();
-  graph["name"] = g.name();
-  graph["actors"] = static_cast<std::int64_t>(g.num_actors());
-  graph["edges"] = static_cast<std::int64_t>(g.num_edges());
-  doc["graph"] = std::move(graph);
+  if (g != nullptr) {
+    obs::Json graph = obs::Json::object();
+    graph["name"] = g->name();
+    graph["actors"] = static_cast<std::int64_t>(g->num_actors());
+    graph["edges"] = static_cast<std::int64_t>(g->num_edges());
+    doc["graph"] = std::move(graph);
+  }
   if (!degraded_from.empty()) doc["degraded_from"] = degraded_from;
   if (order_degraded) doc["order_degraded"] = true;
-  if (!obs::write_file(path, doc)) {
-    std::fprintf(stderr, "error: cannot write trace file %s\n", path.c_str());
-    return false;
+  return obs::write_file_checked(path, doc);
+}
+
+/// Flushes everything the mode wrote to stdout and surfaces a kIo
+/// diagnostic when any of it was lost (closed pipe, full disk). Returns
+/// the process exit code: 0 on success.
+int finish_stdout(bool json_errors) {
+  using namespace sdf;
+  std::cout.flush();
+  const bool cout_bad = !std::cout;
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0 || cout_bad) {
+    Diagnostic diag;
+    diag.code = ErrorCode::kIo;
+    diag.message = "stdout write failed (closed pipe or full disk); "
+                   "output is incomplete";
+    return report_error(diag, json_errors);
   }
-  return true;
+  return 0;
 }
 
 /// Parses a positive integer flag value; nullopt (after a usage message)
@@ -154,9 +193,55 @@ int main(int argc, char** argv) {
   int jobs_flag = 0;  // 0 = $SDFMEM_JOBS or serial
   ResourceBudget budget;
   bool json_errors = false;
+  std::string out_dir;
+  std::string journal_path;
+  int retries = 0;
+  int backoff_ms = 0;
+  bool watchdog = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--trace") {
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      out_dir = argv[++i];
+    } else if (arg == "--journal") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      journal_path = argv[++i];
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--retries", argv[++i]);
+      if (!v) return kUsageExit;
+      retries = static_cast<int>(*v);
+    } else if (arg == "--backoff-ms") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--backoff-ms", argv[++i]);
+      if (!v) return kUsageExit;
+      backoff_ms = static_cast<int>(*v);
+    } else if (arg == "--watchdog") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const std::string v = argv[++i];
+      if (v != "on" && v != "off") {
+        std::fprintf(stderr, "error: --watchdog expects on|off, got %s\n",
+                     v.c_str());
+        usage();
+        return kUsageExit;
+      }
+      watchdog = v == "on";
+    } else if (arg == "--trace") {
       if (i + 1 >= argc) {
         usage();
         return kUsageExit;
@@ -199,7 +284,8 @@ int main(int argc, char** argv) {
   const std::string mode = positional.empty() ? "report" : positional[0];
   if (mode != "report" && mode != "schedule" && mode != "codegen" &&
       mode != "dump" && mode != "explore" && mode != "gantt" &&
-      mode != "dot" && mode != "hsdf" && mode != "stats") {
+      mode != "dot" && mode != "hsdf" && mode != "stats" &&
+      mode != "batch" && mode != "resume") {
     usage();
     return kUsageExit;
   }
@@ -208,6 +294,70 @@ int main(int argc, char** argv) {
     fault::configure_from_env();
   } catch (const std::exception& e) {
     return report_error(diagnostic_from_exception(e), json_errors);
+  }
+
+  if (mode == "batch" || mode == "resume") {
+    if (positional.size() < 2) {
+      usage();
+      return kUsageExit;
+    }
+    util::install_shutdown_handlers();
+    if (!trace_path.empty()) {
+      obs::set_enabled(true);
+      obs::reset();
+    }
+    BatchResult batch_result;
+    std::string resume_hint;
+    try {
+      if (mode == "batch") {
+        if (out_dir.empty()) {
+          std::fprintf(stderr, "error: batch requires --out <dir>\n");
+          usage();
+          return kUsageExit;
+        }
+        BatchOptions bopts;
+        bopts.out_dir = out_dir;
+        bopts.journal_path = journal_path;
+        bopts.jobs = jobs;
+        bopts.max_point_retries = retries;
+        bopts.retry_backoff_ms = backoff_ms;
+        bopts.watchdog_requeue = watchdog;
+        bopts.budget = budget;
+        resume_hint = journal_path.empty() ? out_dir + "/batch.journal"
+                                           : journal_path;
+        batch_result = run_batch(scan_jobs(positional[1]), bopts);
+      } else {
+        resume_hint = positional[1];
+        batch_result =
+            resume_batch(positional[1], jobs_flag != 0 ? jobs : 0);
+      }
+    } catch (const std::exception& e) {
+      return report_error(diagnostic_from_exception(e), json_errors);
+    }
+    std::printf(
+        "batch: %lld job(s): %lld ok, %lld failed, %lld already done\n",
+        static_cast<long long>(batch_result.jobs_total),
+        static_cast<long long>(batch_result.jobs_ok),
+        static_cast<long long>(batch_result.jobs_failed),
+        static_cast<long long>(batch_result.jobs_skipped));
+    for (const std::string& name : batch_result.failed_jobs) {
+      std::fprintf(stderr, "failed: %s\n", name.c_str());
+    }
+    if (!trace_path.empty()) {
+      if (const auto diag = write_trace(trace_path, nullptr, "", false)) {
+        return report_error(*diag, json_errors);
+      }
+    }
+    if (batch_result.interrupted) {
+      std::fprintf(stderr,
+                   "interrupted: resume with `sdfmem_cli resume %s`\n",
+                   resume_hint.c_str());
+      return exit_code_for(ErrorCode::kInterrupted);
+    }
+    if (const int io_exit = finish_stdout(json_errors); io_exit != 0) {
+      return io_exit;
+    }
+    return batch_result.jobs_failed > 0 ? 1 : 0;
   }
 
   Graph g;
@@ -317,9 +467,11 @@ int main(int argc, char** argv) {
     return report_error(diagnostic_from_exception(e), json_errors);
   }
 
-  if (!trace_path.empty() &&
-      !write_trace(trace_path, g, degraded_from, order_degraded)) {
-    return 1;
+  if (!trace_path.empty()) {
+    if (const auto diag =
+            write_trace(trace_path, &g, degraded_from, order_degraded)) {
+      return report_error(*diag, json_errors);
+    }
   }
-  return 0;
+  return finish_stdout(json_errors);
 }

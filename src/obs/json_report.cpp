@@ -1,9 +1,11 @@
 #include "obs/json_report.h"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -436,11 +438,31 @@ Json report() {
   return doc;
 }
 
-bool write_file(const std::string& path, const Json& doc) {
-  std::ofstream out(path);
-  if (!out) return false;
+std::optional<Diagnostic> write_file_checked(const std::string& path,
+                                             const Json& doc) {
+  const auto fail = [&path](const char* what) {
+    Diagnostic diag;
+    diag.code = ErrorCode::kIo;
+    diag.message = std::string(what) + " " + path;
+    if (errno != 0) {
+      diag.message += ": ";
+      diag.message += std::strerror(errno);
+    }
+    return diag;
+  };
+  errno = 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return fail("cannot open");
   out << doc.dump(2) << "\n";
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) return fail("cannot write");  // ENOSPC / closed pipe land here
+  out.close();
+  if (out.fail()) return fail("cannot finish writing");
+  return std::nullopt;
+}
+
+bool write_file(const std::string& path, const Json& doc) {
+  return !write_file_checked(path, doc).has_value();
 }
 
 }  // namespace sdf::obs

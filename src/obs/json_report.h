@@ -18,10 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/status.h"
 
 namespace sdf::obs {
 
@@ -113,8 +116,17 @@ class Json {
 /// adds "tool" / "graph" / "results" before writing.
 [[nodiscard]] Json report();
 
-/// Writes `doc.dump(2)` plus a trailing newline to `path`. Returns false
-/// (without throwing) when the file cannot be opened.
+/// Writes `doc.dump(2)` plus a trailing newline to `path`, then flushes
+/// and closes, returning any failure — open, short write (ENOSPC, closed
+/// pipe), or close — as a structured kIo diagnostic with the errno
+/// detail. nullopt on success. Never throws: report writers run on exit
+/// paths where a second error must not mask the first.
+[[nodiscard]] std::optional<Diagnostic> write_file_checked(
+    const std::string& path, const Json& doc);
+
+/// write_file_checked() collapsed to a bool for callers that only need
+/// success/failure. A partial write is a failure, not a truncated file
+/// that parses as complete.
 bool write_file(const std::string& path, const Json& doc);
 
 }  // namespace sdf::obs

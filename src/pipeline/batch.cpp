@@ -1,0 +1,531 @@
+#include "pipeline/batch.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "obs/counters.h"
+#include "obs/json_report.h"
+#include "obs/trace.h"
+#include "pipeline/compile.h"
+#include "pipeline/explore.h"
+#include "sdf/diagnostics.h"
+#include "sdf/io.h"
+#include "util/fault.h"
+#include "util/journal.h"
+#include "util/shutdown.h"
+
+namespace sdf {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kJournalSchema = "sdfmem.batch.v1";
+constexpr std::string_view kJobSchema = "sdfmem.batch.job.v1";
+
+// Per-job fault context (util/fault.h): the serial compile/load phase of
+// job J draws its fault checks from a context keyed by J, so whether a
+// site fires inside job J never depends on how many earlier jobs a
+// resumed run skipped. (Explore's own task contexts nest inside this and
+// are already job-position independent.)
+constexpr std::uint64_t kJobSalt = 0x6000000;
+
+std::string default_journal_path(const BatchOptions& options) {
+  return options.journal_path.empty()
+             ? options.out_dir + "/batch.journal"
+             : options.journal_path;
+}
+
+std::string job_output_path(const std::string& out_dir,
+                            const BatchJob& job) {
+  return out_dir + "/" + job.name + ".json";
+}
+
+// --- journal record (de)serialization --------------------------------
+
+obs::Json outcome_to_json(const TaskOutcome& outcome) {
+  obs::Json o = obs::Json::object();
+  if (outcome.dropped) o["dropped"] = true;
+  if (outcome.retries > 0) {
+    o["retries"] = static_cast<std::int64_t>(outcome.retries);
+  }
+  if (outcome.requeued) o["requeued"] = true;
+  obs::Json points = obs::Json::array();
+  for (const TaskOutcome::Point& p : outcome.points) {
+    obs::Json pj = obs::Json::object();
+    pj["strategy"] = p.strategy;
+    pj["code_size"] = p.code_size;
+    pj["shared_memory"] = p.shared_memory;
+    pj["nonshared_memory"] = p.nonshared_memory;
+    if (!p.degraded_from.empty()) pj["degraded_from"] = p.degraded_from;
+    pj["schedule"] = p.schedule_text;
+    points.push_back(std::move(pj));
+  }
+  o["points"] = std::move(points);
+  return o;
+}
+
+TaskOutcome outcome_from_json(const obs::Json& o) {
+  TaskOutcome outcome;
+  if (const obs::Json* v = o.find("dropped")) outcome.dropped = v->as_bool();
+  if (const obs::Json* v = o.find("retries")) {
+    outcome.retries = static_cast<std::int32_t>(v->as_int());
+  }
+  if (const obs::Json* v = o.find("requeued")) {
+    outcome.requeued = v->as_bool();
+  }
+  if (const obs::Json* v = o.find("points")) {
+    for (const obs::Json& pj : v->elements()) {
+      TaskOutcome::Point p;
+      if (const obs::Json* f = pj.find("strategy")) p.strategy = f->as_string();
+      if (const obs::Json* f = pj.find("code_size")) p.code_size = f->as_int();
+      if (const obs::Json* f = pj.find("shared_memory")) {
+        p.shared_memory = f->as_int();
+      }
+      if (const obs::Json* f = pj.find("nonshared_memory")) {
+        p.nonshared_memory = f->as_int();
+      }
+      if (const obs::Json* f = pj.find("degraded_from")) {
+        p.degraded_from = f->as_string();
+      }
+      if (const obs::Json* f = pj.find("schedule")) {
+        p.schedule_text = f->as_string();
+      }
+      outcome.points.push_back(std::move(p));
+    }
+  }
+  return outcome;
+}
+
+/// Progress recovered from a journal's post-header records.
+struct PriorProgress {
+  /// job index -> (task index -> recorded outcome)
+  std::map<std::size_t, std::map<std::size_t, TaskOutcome>> tasks;
+  /// job index -> "ok" | "failed"
+  std::map<std::size_t, std::string> done;
+};
+
+obs::Json parse_record(const std::string& payload, std::size_t index) {
+  try {
+    return obs::Json::parse(payload);
+  } catch (const std::exception& e) {
+    throw CorruptJournalError("batch journal: record " +
+                              std::to_string(index) +
+                              " passed its checksum but is not JSON: " +
+                              e.what());
+  }
+}
+
+PriorProgress parse_progress(const std::vector<std::string>& records) {
+  PriorProgress prior;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const obs::Json rec = parse_record(records[i], i);
+    const obs::Json* type = rec.find("type");
+    const obs::Json* job = rec.find("job");
+    if (type == nullptr || job == nullptr) continue;
+    const auto j = static_cast<std::size_t>(job->as_int());
+    if (type->as_string() == "task") {
+      const obs::Json* task = rec.find("task");
+      const obs::Json* outcome = rec.find("outcome");
+      if (task == nullptr || outcome == nullptr) continue;
+      prior.tasks[j][static_cast<std::size_t>(task->as_int())] =
+          outcome_from_json(*outcome);
+    } else if (type->as_string() == "job_done") {
+      const obs::Json* status = rec.find("status");
+      prior.done[j] = status == nullptr ? "ok" : status->as_string();
+    }
+  }
+  return prior;
+}
+
+// --- job output ------------------------------------------------------
+
+obs::Json point_to_json(const DesignPoint& p) {
+  obs::Json pj = obs::Json::object();
+  pj["strategy"] = p.strategy;
+  pj["code_size"] = p.code_size;
+  pj["shared_memory"] = p.shared_memory;
+  pj["nonshared_memory"] = p.nonshared_memory;
+  pj["pareto"] = p.pareto;
+  if (!p.degraded_from.empty()) pj["degraded_from"] = p.degraded_from;
+  return pj;
+}
+
+/// The deterministic slice of an explore result: everything that is
+/// byte-identical between a fresh and a resumed run (cache hit/miss and
+/// the restored-task split are deliberately excluded).
+obs::Json explore_to_json(const ExploreResult& r) {
+  obs::Json e = obs::Json::object();
+  obs::Json points = obs::Json::array();
+  for (const DesignPoint& p : r.points) points.push_back(point_to_json(p));
+  e["points"] = std::move(points);
+  obs::Json frontier = obs::Json::array();
+  for (const DesignPoint& p : r.frontier) {
+    frontier.push_back(point_to_json(p));
+  }
+  e["frontier"] = std::move(frontier);
+  e["points_dropped"] = r.points_dropped;
+  e["retries"] = r.retries;
+  e["retries_exhausted"] = r.retries_exhausted;
+  e["watchdog_requeues"] = r.watchdog_requeues;
+  return e;
+}
+
+// --- the drain loop --------------------------------------------------
+
+/// Runs one job end-to-end; returns "ok", "failed" or "interrupted".
+/// Output file and job_done record are written in that order, so a crash
+/// between them re-runs an already-output job from restored tasks — which
+/// rewrites the identical bytes (the explore sweep is deterministic).
+std::string run_job(std::size_t j, const BatchJob& job,
+                    const BatchOptions& options,
+                    const std::map<std::size_t, TaskOutcome>* restore,
+                    util::JournalWriter& writer, std::mutex& journal_mu,
+                    BatchResult& result) {
+  const obs::Span span("pipeline.batch.job");
+  const fault::Context job_ctx(kJobSalt + j);
+
+  obs::Json out = obs::Json::object();
+  out["schema"] = std::string(kJobSchema);
+  out["job"] = job.name;
+  std::string status = "ok";
+
+  // Fresh per-job governor: each job gets the full deadline, and a job
+  // that degrades to the ladder floor cannot starve its successors.
+  ResourceGovernor governor(options.budget);
+  const ResourceGovernor::Scope governed(governor);
+
+  try {
+    const Graph g = load_graph(job.path);
+    obs::Json graph = obs::Json::object();
+    graph["name"] = g.name();
+    graph["actors"] = static_cast<std::int64_t>(g.num_actors());
+    graph["edges"] = static_cast<std::int64_t>(g.num_edges());
+    out["graph"] = std::move(graph);
+
+    const Result<CompileResult> compiled = compile_checked(g);
+    if (!compiled.ok()) {
+      out["error"] = diagnostic_to_json(compiled.error());
+      status = "failed";
+    } else {
+      const CompileResult& res = compiled.value();
+      obs::Json cj = obs::Json::object();
+      cj["schedule"] = res.schedule.to_string(g);
+      cj["nonshared_memory"] = res.nonshared_bufmem;
+      cj["shared_memory"] = res.shared_size;
+      if (!res.degradation_path().empty()) {
+        cj["degraded_from"] = res.degradation_path();
+      }
+      out["compile"] = std::move(cj);
+
+      ExploreOptions eopts;
+      eopts.jobs = options.jobs;
+      eopts.max_point_retries = options.max_point_retries;
+      eopts.retry_backoff_ms = options.retry_backoff_ms;
+      eopts.watchdog_requeue = options.watchdog_requeue;
+      eopts.cancel = &util::shutdown_flag();
+      eopts.restore = restore;
+      eopts.on_task_done = [&](std::size_t task,
+                               const TaskOutcome& outcome) {
+        obs::Json rec = obs::Json::object();
+        rec["type"] = "task";
+        rec["job"] = static_cast<std::int64_t>(j);
+        rec["task"] = static_cast<std::int64_t>(task);
+        rec["outcome"] = outcome_to_json(outcome);
+        const std::string payload = rec.dump();
+        const std::lock_guard<std::mutex> lock(journal_mu);
+        writer.append(payload);
+      };
+
+      const ExploreResult r = explore_designs(g, eopts);
+      result.tasks_restored += r.tasks_restored;
+      result.retries += r.retries;
+      result.retries_exhausted += r.retries_exhausted;
+      result.watchdog_requeues += r.watchdog_requeues;
+      result.points_dropped += r.points_dropped;
+      if (r.cancelled) return "interrupted";
+      out["explore"] = explore_to_json(r);
+    }
+  } catch (const std::exception& e) {
+    out["error"] = diagnostic_to_json(diagnostic_from_exception(e));
+    status = "failed";
+  }
+
+  util::atomic_write_file(job_output_path(options.out_dir, job),
+                          out.dump(2) + "\n");
+  obs::Json done = obs::Json::object();
+  done["type"] = "job_done";
+  done["job"] = static_cast<std::int64_t>(j);
+  done["status"] = status;
+  if (const obs::Json* err = out.find("error")) done["error"] = *err;
+  {
+    const std::lock_guard<std::mutex> lock(journal_mu);
+    writer.append(done.dump());
+  }
+  return status;
+}
+
+BatchResult drive(const std::vector<BatchJob>& jobs,
+                  const BatchOptions& options, util::JournalWriter writer,
+                  const PriorProgress& prior) {
+  const obs::Span span("pipeline.batch");
+  BatchResult result;
+  result.jobs_total = static_cast<std::int64_t>(jobs.size());
+  std::mutex journal_mu;
+  obs::Json summary_jobs = obs::Json::array();
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    std::string status;
+    if (const auto done = prior.done.find(j); done != prior.done.end()) {
+      status = done->second;
+      if (status == "failed") {
+        ++result.jobs_failed;
+      } else {
+        ++result.jobs_skipped;
+      }
+    } else if (util::shutdown_requested()) {
+      result.interrupted = true;
+      break;
+    } else {
+      const auto tasks = prior.tasks.find(j);
+      status = run_job(j, jobs[j], options,
+                       tasks == prior.tasks.end() ? nullptr : &tasks->second,
+                       writer, journal_mu, result);
+      if (status == "interrupted") {
+        result.interrupted = true;
+        break;
+      }
+      if (status == "failed") {
+        ++result.jobs_failed;
+      } else {
+        ++result.jobs_ok;
+      }
+    }
+    if (status == "failed") result.failed_jobs.push_back(jobs[j].name);
+    obs::Json sj = obs::Json::object();
+    sj["name"] = jobs[j].name;
+    sj["status"] = status;
+    sj["output"] = jobs[j].name + ".json";
+    summary_jobs.push_back(std::move(sj));
+  }
+
+  obs::count("pipeline.batch.jobs", result.jobs_total);
+  if (result.jobs_ok > 0) obs::count("pipeline.batch.jobs_ok", result.jobs_ok);
+  if (result.jobs_failed > 0) {
+    obs::count("pipeline.batch.jobs_failed", result.jobs_failed);
+  }
+  if (result.jobs_skipped > 0) {
+    obs::count("pipeline.batch.jobs_skipped", result.jobs_skipped);
+  }
+  if (result.interrupted) {
+    obs::count("pipeline.batch.interrupted");
+    return result;  // journal stays live, positioned for resume_batch()
+  }
+
+  // Finalize: summary first (atomic), then retire the journal with an
+  // atomic rename — after this point resume_batch reports "complete".
+  obs::Json summary = obs::Json::object();
+  summary["schema"] = std::string(kJournalSchema);
+  summary["jobs"] = std::move(summary_jobs);
+  util::atomic_write_file(options.out_dir + "/batch_summary.json",
+                          summary.dump(2) + "\n");
+  const std::string journal = writer.path();
+  std::error_code ec;
+  fs::rename(journal, journal + ".done", ec);
+  if (ec) {
+    throw IoError("batch: cannot finalize journal " + journal + ": " +
+                  ec.message());
+  }
+  return result;
+}
+
+obs::Json batch_header(const std::vector<BatchJob>& jobs,
+                       const BatchOptions& options) {
+  obs::Json header = obs::Json::object();
+  header["schema"] = std::string(kJournalSchema);
+  header["out_dir"] = options.out_dir;
+  obs::Json opts = obs::Json::object();
+  opts["jobs"] = options.jobs;
+  opts["max_point_retries"] = options.max_point_retries;
+  opts["retry_backoff_ms"] = options.retry_backoff_ms;
+  opts["watchdog_requeue"] = options.watchdog_requeue;
+  opts["deadline_ms"] = options.budget.deadline_ms;
+  opts["dp_mem_bytes"] = options.budget.dp_mem_bytes;
+  header["options"] = std::move(opts);
+  obs::Json job_list = obs::Json::array();
+  for (const BatchJob& job : jobs) {
+    obs::Json jj = obs::Json::object();
+    jj["name"] = job.name;
+    jj["path"] = job.path;
+    job_list.push_back(std::move(jj));
+  }
+  header["jobs"] = std::move(job_list);
+  return header;
+}
+
+/// Rebuilds the job list and options a run_batch() recorded, so resume
+/// depends only on the journal — never on rescanning the job source.
+void parse_header(const obs::Json& header, std::vector<BatchJob>* jobs,
+                  BatchOptions* options) {
+  const obs::Json* schema = header.find("schema");
+  if (schema == nullptr || schema->as_string() != kJournalSchema) {
+    throw CorruptJournalError(
+        "batch journal: header schema is not sdfmem.batch.v1");
+  }
+  if (const obs::Json* v = header.find("out_dir")) {
+    options->out_dir = v->as_string();
+  }
+  if (const obs::Json* opts = header.find("options")) {
+    if (const obs::Json* v = opts->find("jobs")) {
+      options->jobs = static_cast<int>(v->as_int());
+    }
+    if (const obs::Json* v = opts->find("max_point_retries")) {
+      options->max_point_retries = static_cast<int>(v->as_int());
+    }
+    if (const obs::Json* v = opts->find("retry_backoff_ms")) {
+      options->retry_backoff_ms = static_cast<int>(v->as_int());
+    }
+    if (const obs::Json* v = opts->find("watchdog_requeue")) {
+      options->watchdog_requeue = v->as_bool();
+    }
+    if (const obs::Json* v = opts->find("deadline_ms")) {
+      options->budget.deadline_ms = v->as_int();
+    }
+    if (const obs::Json* v = opts->find("dp_mem_bytes")) {
+      options->budget.dp_mem_bytes = v->as_int();
+    }
+  }
+  const obs::Json* job_list = header.find("jobs");
+  if (job_list == nullptr || job_list->size() == 0) {
+    throw CorruptJournalError("batch journal: header has no job list");
+  }
+  for (const obs::Json& jj : job_list->elements()) {
+    BatchJob job;
+    if (const obs::Json* v = jj.find("name")) job.name = v->as_string();
+    if (const obs::Json* v = jj.find("path")) job.path = v->as_string();
+    jobs->push_back(std::move(job));
+  }
+}
+
+}  // namespace
+
+std::vector<BatchJob> scan_jobs(const std::string& source) {
+  std::error_code ec;
+  std::vector<std::string> paths;
+  if (fs::is_directory(source, ec)) {
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(source, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".sdf") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+  } else if (fs::is_regular_file(source, ec)) {
+    if (fs::path(source).extension() == ".sdf") {
+      paths.push_back(source);
+    } else {
+      std::ifstream manifest(source);
+      if (!manifest) {
+        throw IoError("batch: cannot open manifest " + source);
+      }
+      const fs::path base = fs::path(source).parent_path();
+      std::string line;
+      while (std::getline(manifest, line)) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' ')) {
+          line.pop_back();
+        }
+        std::size_t start = line.find_first_not_of(' ');
+        if (start == std::string::npos) continue;
+        if (line[start] == '#') continue;
+        const fs::path p(line.substr(start));
+        paths.push_back(p.is_absolute() ? p.string()
+                                        : (base / p).string());
+      }
+    }
+  } else {
+    throw IoError("batch: job source not found: " + source);
+  }
+  if (paths.empty()) {
+    throw BadArgumentError("batch: no .sdf jobs in " + source);
+  }
+
+  std::vector<BatchJob> jobs;
+  std::map<std::string, int> name_counts;
+  for (const std::string& path : paths) {
+    std::string name = fs::path(path).stem().string();
+    const int seen = ++name_counts[name];
+    if (seen > 1) name += "~" + std::to_string(seen);
+    jobs.push_back(BatchJob{std::move(name), path});
+  }
+  return jobs;
+}
+
+BatchResult run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options) {
+  if (util::shutdown_requested()) {
+    throw InterruptedError("batch: shutdown requested before start");
+  }
+  if (jobs.empty()) throw BadArgumentError("batch: empty job list");
+  if (options.out_dir.empty()) {
+    throw BadArgumentError("batch: out_dir is required");
+  }
+  std::error_code ec;
+  fs::create_directories(options.out_dir, ec);
+  if (ec) {
+    throw IoError("batch: cannot create output directory " +
+                  options.out_dir + ": " + ec.message());
+  }
+  const std::string journal = default_journal_path(options);
+  util::JournalWriter writer =
+      util::JournalWriter::create(journal, batch_header(jobs, options).dump());
+  return drive(jobs, options, std::move(writer), PriorProgress{});
+}
+
+BatchResult resume_batch(const std::string& journal_path,
+                         int jobs_override) {
+  std::error_code ec;
+  if (!fs::exists(journal_path, ec) &&
+      fs::exists(journal_path + ".done", ec)) {
+    // Finalized on a previous run: everything is already on disk.
+    const util::RecoveredJournal done =
+        util::recover_journal(journal_path + ".done");
+    std::vector<BatchJob> jobs;
+    BatchOptions options;
+    parse_header(parse_record(done.records.at(0), 0), &jobs, &options);
+    BatchResult result;
+    result.jobs_total = static_cast<std::int64_t>(jobs.size());
+    const PriorProgress prior = parse_progress(done.records);
+    for (const auto& [job, status] : prior.done) {
+      (void)job;
+      if (status == "failed") {
+        ++result.jobs_failed;
+      } else {
+        ++result.jobs_skipped;
+      }
+    }
+    return result;
+  }
+
+  const util::RecoveredJournal recovered =
+      util::recover_journal(journal_path);
+  std::vector<BatchJob> jobs;
+  BatchOptions options;
+  options.journal_path = journal_path;
+  parse_header(parse_record(recovered.records.at(0), 0), &jobs, &options);
+  if (jobs_override > 0) options.jobs = jobs_override;
+
+  if (util::shutdown_requested()) {
+    throw InterruptedError("resume: shutdown requested before start");
+  }
+  const PriorProgress prior = parse_progress(recovered.records);
+  util::JournalWriter writer =
+      util::JournalWriter::append_to(journal_path, recovered.valid_bytes);
+  return drive(jobs, options, std::move(writer), prior);
+}
+
+}  // namespace sdf

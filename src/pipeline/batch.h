@@ -1,0 +1,114 @@
+// Crash-safe batch execution over a set of .sdf jobs
+// (docs/DURABILITY.md).
+//
+// `run_batch` drains a job list through the compile + explore pipeline,
+// journaling progress to a crash-consistent on-disk log (util/journal.h)
+// so a SIGKILL at any instruction loses at most the work since the last
+// durable record. `resume_batch` recovers the journal — truncating any
+// torn tail — and continues: completed jobs are skipped outright, the
+// interrupted job restores its finished explore tasks through
+// ExploreOptions::restore, and everything still pending runs normally.
+// The resumed output files are byte-identical to an uninterrupted run for
+// any `jobs` value, because the explore sweep itself is deterministic and
+// restored task outcomes feed the same enumeration-order reduction.
+//
+// Journal record schema (JSON payloads, one per record):
+//   record 0 (header): {"schema": "sdfmem.batch.v1", "out_dir", "options",
+//                       "jobs": [{"name", "path"}, ...]}
+//   {"type": "task", "job": J, "task": K, "outcome": {...}}   per explore
+//       task (the checkpoint granularity; see pipeline/explore.h)
+//   {"type": "job_done", "job": J, "status": "ok"|"failed", "error"?}
+//       appended only after the job's output file is atomically on disk
+//
+// On completion the journal is finalized by an atomic rename to
+// `<journal>.done`; a resume that finds only the finalized file reports
+// the batch complete. Graceful shutdown (util/shutdown.h): once
+// SIGINT/SIGTERM sets the flag, the runner stops admitting jobs and
+// explore tasks, drains what is in flight (each drained task still reaches
+// the journal), and returns with `interrupted` set — the CLI maps that to
+// exit_code_for(ErrorCode::kInterrupted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/governor.h"
+#include "util/status.h"
+
+namespace sdf {
+
+/// One unit of batch work: a named .sdf graph file.
+struct BatchJob {
+  std::string name;  ///< unique within the batch; output is <name>.json
+  std::string path;
+};
+
+struct BatchOptions {
+  /// Directory for per-job output files and the batch summary. Created if
+  /// absent.
+  std::string out_dir;
+  /// Journal path; empty means "<out_dir>/batch.journal".
+  std::string journal_path;
+  /// Worker threads for each job's explore sweep (ExploreOptions::jobs).
+  int jobs = 0;
+  /// Retries per explore task (ExploreOptions::max_point_retries).
+  int max_point_retries = 0;
+  /// Base retry backoff in ms, doubling per attempt.
+  int retry_backoff_ms = 0;
+  /// Requeue exhausted tasks at the degraded flat tier.
+  bool watchdog_requeue = false;
+  /// Per-job resource budget (deadline / DP memory), as in the CLI flags.
+  ResourceBudget budget;
+};
+
+/// What a batch (or resume) run did. Deterministic except for the
+/// skipped/restored split, which depends on where the previous run died.
+struct BatchResult {
+  std::int64_t jobs_total = 0;
+  std::int64_t jobs_ok = 0;      ///< completed this run
+  std::int64_t jobs_failed = 0;  ///< diagnostic recorded, batch continued
+  std::int64_t jobs_skipped = 0; ///< already done in the journal (resume)
+  std::int64_t tasks_restored = 0;
+  std::int64_t retries = 0;
+  std::int64_t retries_exhausted = 0;
+  std::int64_t watchdog_requeues = 0;
+  std::int64_t points_dropped = 0;
+  /// Shutdown was requested; the journal is positioned for resume_batch.
+  bool interrupted = false;
+  std::vector<std::string> failed_jobs;
+
+  [[nodiscard]] bool all_ok() const {
+    return !interrupted && jobs_failed == 0;
+  }
+};
+
+/// Expands a job source into the batch's job list:
+///   * a directory        — every *.sdf inside, sorted by name
+///   * a .sdf file        — that single job
+///   * any other file     — a manifest: one graph path per line, relative
+///                          to the manifest's directory ('#' comments and
+///                          blank lines ignored)
+/// Job names are the file stems, deduplicated with a ~N suffix. Throws
+/// IoError when the source does not exist, BadArgumentError when it yields
+/// no jobs.
+[[nodiscard]] std::vector<BatchJob> scan_jobs(const std::string& source);
+
+/// Runs every job, journaling progress. Throws InterruptedError when
+/// shutdown was already requested on entry, BadArgumentError when the
+/// journal path already exists (an interrupted batch must be resumed, not
+/// restarted), IoError on unrecoverable output I/O.
+[[nodiscard]] BatchResult run_batch(const std::vector<BatchJob>& jobs,
+                                    const BatchOptions& options);
+
+/// Recovers `journal_path` (truncating a torn tail) and finishes the
+/// batch it describes. Job list and options come from the journal header;
+/// `jobs_override` > 0 replaces the recorded explore thread count (the
+/// output is identical either way). Throws CorruptJournalError when the
+/// file is not a recoverable journal and IoError when it cannot be read —
+/// unless the finalized "<journal>.done" exists, in which case the batch
+/// is already complete and an empty all-skipped result is returned.
+[[nodiscard]] BatchResult resume_batch(const std::string& journal_path,
+                                       int jobs_override = 0);
+
+}  // namespace sdf

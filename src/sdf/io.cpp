@@ -63,6 +63,12 @@ std::int64_t parse_int(const Token& tok, int line, const char* field) {
 }  // namespace
 
 Graph parse_graph_text(std::string_view text) {
+  // Strip a UTF-8 byte-order mark (Windows editors prepend one) before
+  // tokenizing, so line 1 column 1 is the first real character and the
+  // leading keyword is not reported as unknown.
+  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
+    text.remove_prefix(3);
+  }
   Graph g;
   std::istringstream in{std::string(text)};
   std::string line;

@@ -9,17 +9,21 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/status.h"
+
 namespace sdf {
 
 /// Normalized rational number with positive denominator. Overflow on the
-/// 64-bit intermediate products is checked and reported by throwing
-/// std::overflow_error (repetition vectors that large are not schedulable
-/// in practice anyway).
+/// 64-bit intermediate products — including the INT64_MIN negations in
+/// normalization — is checked and reported by throwing the typed
+/// ArithmeticOverflowError (still a std::overflow_error, but carrying the
+/// kOverflow diagnostic; repetition vectors that large are not
+/// schedulable in practice anyway).
 class Rational {
  public:
   constexpr Rational() = default;
   Rational(std::int64_t num, std::int64_t den = 1) : num_(num), den_(den) {
-    if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+    if (den_ == 0) throw BadArgumentError("Rational: zero denominator");
     normalize();
   }
 
@@ -50,7 +54,7 @@ class Rational {
   }
 
   friend Rational operator-(const Rational& a, const Rational& b) {
-    return a + Rational(-b.num_, b.den_);
+    return a + Rational(checked_neg(b.num_), b.den_);
   }
 
   friend bool operator==(const Rational& a, const Rational& b) {
@@ -64,24 +68,32 @@ class Rational {
   static std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
     std::int64_t r = 0;
     if (__builtin_mul_overflow(a, b, &r)) {
-      throw std::overflow_error("Rational: multiplication overflow");
+      throw ArithmeticOverflowError("Rational: multiplication overflow");
     }
     return r;
   }
   static std::int64_t checked_add(std::int64_t a, std::int64_t b) {
     std::int64_t r = 0;
     if (__builtin_add_overflow(a, b, &r)) {
-      throw std::overflow_error("Rational: addition overflow");
+      throw ArithmeticOverflowError("Rational: addition overflow");
+    }
+    return r;
+  }
+  static std::int64_t checked_neg(std::int64_t a) {
+    std::int64_t r = 0;
+    if (__builtin_sub_overflow(std::int64_t{0}, a, &r)) {
+      throw ArithmeticOverflowError("Rational: negation overflow");
     }
     return r;
   }
 
   void normalize() {
     if (den_ < 0) {
-      num_ = -num_;
-      den_ = -den_;
+      num_ = checked_neg(num_);  // INT64_MIN numerator cannot be negated
+      den_ = checked_neg(den_);
     }
-    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    const std::int64_t g =
+        std::gcd(num_ < 0 ? checked_neg(num_) : num_, den_);
     if (g > 1) {
       num_ /= g;
       den_ /= g;

@@ -13,8 +13,8 @@ namespace sdf::fault {
 namespace {
 
 const std::vector<std::string_view> kSites = {
-    "parse_oom", "io_open", "dp_mem", "dp_deadline", "explore_point",
-    "pool_spawn",
+    "parse_oom", "io_open",    "dp_mem",     "dp_deadline",
+    "explore_point", "pool_spawn", "batch_kill",
 };
 
 struct ArmedSite {
@@ -25,7 +25,7 @@ struct ArmedSite {
 struct Config {
   std::uint64_t seed = 0;
   // Index-aligned with kSites; window == 0 means unarmed.
-  ArmedSite sites[6];
+  ArmedSite sites[7];
   // Counters for checks outside any Context (serial code paths).
   std::mutex global_mu;
   std::map<std::string, std::int64_t, std::less<>> global_checks;

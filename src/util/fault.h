@@ -36,6 +36,8 @@ namespace sdf::fault {
 ///   dp_deadline  — chain_dp/dppo/sdppo cooperative deadline trip
 ///   explore_point— one design-point evaluation in the explore sweep
 ///   pool_spawn   — ThreadPool worker-thread creation failure
+///   batch_kill   — raises SIGKILL after a durable journal append
+///                  (util/journal.h) — the crash-matrix hook
 [[nodiscard]] const std::vector<std::string_view>& known_sites();
 
 /// Installs a fault spec ("site:n,site:n" — see file comment), replacing

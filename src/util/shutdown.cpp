@@ -1,0 +1,52 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+
+namespace sdf::util {
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void shutdown_signal_handler(int sig) {
+  if (g_requested.load(std::memory_order_relaxed)) {
+    // Second signal while draining: arm the default disposition so the
+    // next one (or this one re-raised by the kernel on some platforms)
+    // terminates immediately.
+    std::signal(sig, SIG_DFL);
+    return;
+  }
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+bool install_shutdown_handlers() noexcept {
+  bool ok = true;
+  ok &= std::signal(SIGINT, shutdown_signal_handler) != SIG_ERR;
+  ok &= std::signal(SIGTERM, shutdown_signal_handler) != SIG_ERR;
+  return ok;
+}
+
+bool shutdown_requested() noexcept {
+  return g_requested.load(std::memory_order_acquire);
+}
+
+int shutdown_signal() noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool>& shutdown_flag() noexcept { return g_requested; }
+
+void request_shutdown(int signal) noexcept {
+  g_signal.store(signal, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_release);
+}
+
+void reset_shutdown() noexcept {
+  g_requested.store(false, std::memory_order_release);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sdf::util

@@ -1,0 +1,43 @@
+// Cooperative graceful-shutdown plumbing for the batch runner
+// (docs/DURABILITY.md, "Graceful shutdown").
+//
+// install_shutdown_handlers() routes SIGINT and SIGTERM to a lock-free
+// flag instead of the default process kill. Long-running drains (the
+// batch runner, the explore sweep via ExploreOptions::cancel) poll
+// shutdown_requested(): once it turns true they stop admitting new work,
+// finish and checkpoint what is already in flight, and exit with the
+// documented "interrupted" code (exit_code_for(ErrorCode::kInterrupted)).
+// A second SIGINT/SIGTERM while draining restores the default handler, so
+// an impatient third signal kills the process the traditional way.
+//
+// Everything here is async-signal-safe: the handler does one relaxed
+// atomic store. Tests drive the same paths without real signals through
+// request_shutdown() / reset_shutdown().
+#pragma once
+
+#include <atomic>
+
+namespace sdf::util {
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag. Safe to
+/// call more than once. Returns false when a handler could not be
+/// installed (the flag still works via request_shutdown()).
+bool install_shutdown_handlers() noexcept;
+
+/// True once a shutdown signal was received (or request_shutdown() ran).
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// The signal number that triggered shutdown, or 0. For exit messages.
+[[nodiscard]] int shutdown_signal() noexcept;
+
+/// The flag itself, for code that polls through a pointer
+/// (ExploreOptions::cancel).
+[[nodiscard]] const std::atomic<bool>& shutdown_flag() noexcept;
+
+/// Sets the flag programmatically (tests, embedding services).
+void request_shutdown(int signal = 0) noexcept;
+
+/// Clears the flag (tests; a process normally shuts down once).
+void reset_shutdown() noexcept;
+
+}  // namespace sdf::util

@@ -37,6 +37,8 @@ enum class ErrorCode {
   kResourceExhausted,  ///< governor budget trip (deadline / DP memory) or
                        ///< injected resource fault
   kInternal,           ///< invariant violation — a bug, not an input error
+  kCorruptJournal,     ///< batch journal unrecoverable (bad magic/header)
+  kInterrupted,        ///< run stopped by SIGINT/SIGTERM; resumable
 };
 
 /// 1-based source position inside a parsed text; 0 = unknown.
@@ -114,6 +116,10 @@ using ResourceExhaustedError =
     detail::TypedError<std::runtime_error, ErrorCode::kResourceExhausted>;
 using InternalError =
     detail::TypedError<std::logic_error, ErrorCode::kInternal>;
+using CorruptJournalError =
+    detail::TypedError<std::runtime_error, ErrorCode::kCorruptJournal>;
+using InterruptedError =
+    detail::TypedError<std::runtime_error, ErrorCode::kInterrupted>;
 
 /// Value-or-diagnostic return for the pipeline boundary. Interior code
 /// keeps throwing; the boundary catches once and hands callers this.

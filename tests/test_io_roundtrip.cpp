@@ -59,6 +59,18 @@ TEST(IoRoundTrip, ParsePrintIdentityOnRandomGraphs) {
   }
 }
 
+TEST(IoRoundTrip, CrlfAndBomParseToTheSameGraph) {
+  // A Windows-edited copy (CRLF + UTF-8 BOM) must parse to the exact
+  // graph the plain text does — to_string round-trips prove it.
+  const std::string plain = "graph g\nactor A\nactor B\nedge A B 2 3 1\n";
+  const std::string crlf =
+      "graph g\r\nactor A\r\nactor B\r\nedge A B 2 3 1\r\n";
+  const std::string bom = "\xEF\xBB\xBF" + plain;
+  const std::string expected = write_graph_text(parse_graph_text(plain));
+  EXPECT_EQ(write_graph_text(parse_graph_text(crlf)), expected);
+  EXPECT_EQ(write_graph_text(parse_graph_text(bom)), expected);
+}
+
 TEST(IoRoundTrip, CommentsAndBlankLinesAreIgnored) {
   const Graph g = parse_graph_text(
       "# leading comment\n"
@@ -95,6 +107,15 @@ const std::map<std::string, ExpectedDiagnostic>& corpus_expectations() {
       {"zero_rate.sdf", {4, 10, "rates must be positive"}},
       {"negative_delay.sdf", {4, 10, "delay must be non-negative"}},
       {"actor_without_name.sdf", {5, 1, "actor needs a name"}},
+      // A file cut off mid-write (no trailing newline, edge missing its
+      // rates) — the torn-file analogue of the batch journal's torn tail.
+      {"truncated_edge.sdf", {4, 1, "edge needs"}},
+      // CRLF line endings: the \r must count as whitespace, not shift the
+      // reported column of the offending token.
+      {"crlf_bad_rate.sdf", {4, 12, "must be an integer"}},
+      // UTF-8 BOM is stripped, so the real error (line 2) is reported —
+      // not a phantom unknown keyword at line 1.
+      {"utf8_bom_unknown_keyword.sdf", {2, 1, "unknown keyword"}},
   };
   return table;
 }

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+
+#include "util/status.h"
 
 namespace sdf {
 namespace {
@@ -80,6 +83,31 @@ TEST(Rational, AdditionOverflowThrows) {
   const std::int64_t big = (1ll << 62);
   EXPECT_THROW(Rational(big, 1) + Rational(big * 0 + big, 1),
                std::overflow_error);
+}
+
+TEST(Rational, OverflowCarriesTypedDiagnostic) {
+  // The std::overflow_error is also an SdfError with code kOverflow, so
+  // the pipeline boundary maps it to the documented exit code.
+  const std::int64_t big = (1ll << 62);
+  try {
+    const Rational r = Rational(big, 1) * Rational(big, 1);
+    (void)r;
+    FAIL() << "expected overflow";
+  } catch (const ArithmeticOverflowError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverflow);
+  }
+}
+
+TEST(Rational, ZeroDenominatorIsTypedBadArgument) {
+  EXPECT_THROW(Rational(1, 0), BadArgumentError);
+}
+
+TEST(Rational, NegationOverflowIsCheckedNotUb) {
+  // INT64_MIN cannot be negated; normalization and subtraction must
+  // report that as a typed overflow instead of signed-overflow UB.
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW(Rational(1, min), ArithmeticOverflowError);
+  EXPECT_THROW(Rational(0) - Rational(min, 1), ArithmeticOverflowError);
 }
 
 }  // namespace
