@@ -1,0 +1,213 @@
+// Load generator for the compile service (docs/SERVICE.md): starts an
+// in-process sdfmemd on a Unix socket with a fresh result cache, replays
+// the Table 1 practical suite cold (every request compiles) and then hot
+// (every request is a verified cache hit) from several concurrent
+// clients, and reports p50/p95/p99 request latency plus the hit-rate
+// trajectory per round.
+//
+//   SDFMEM_SERVICE_CLIENTS  concurrent client connections (default 4)
+//   SDFMEM_SERVICE_ROUNDS   hot rounds over the suite (default 3)
+//   SDFMEM_BENCH_JSON       write the trajectory as telemetry JSON
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "sdf/io.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace sdf::bench {
+namespace {
+
+std::int64_t percentile(std::vector<std::int64_t> sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+struct RoundResult {
+  std::string label;
+  std::vector<std::int64_t> latencies_us;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// One pass over the request list from `clients` concurrent connections;
+/// returns every request's client-observed latency.
+std::vector<std::int64_t> run_round(const std::string& socket_path,
+                                    const std::vector<std::string>& requests,
+                                    int clients) {
+  std::vector<std::int64_t> latencies;
+  std::mutex mu;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      svc::Client client({socket_path, 0});
+      std::vector<std::int64_t> local;
+      // Client c starts at a different offset so concurrent clients do
+      // not convoy on one key.
+      const std::size_t n = requests.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::string& graph =
+            requests[(i + static_cast<std::size_t>(c)) % n];
+        svc::CompileRequest req;
+        req.graph_text = graph;
+        // The configuration worth caching: the expensive best-quality
+        // pipeline (multistart RPMC ordering + exact chain DP) over the
+        // vectorized schedule (blocking factor 16, paper Sec. 9).
+        req.options.order = OrderHeuristic::kRpmcMultistart;
+        req.options.optimizer = LoopOptimizer::kChainExact;
+        req.options.blocking_factor = 16;
+        const auto t0 = std::chrono::steady_clock::now();
+        const Result<std::string> r = client.compile(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          throw IoError("service_load: request failed: " +
+                        r.error().message);
+        }
+        local.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                            t1 - t0)
+                            .count());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return latencies;
+}
+
+int body() {
+  JsonTrajectory trajectory("service_load");
+  const int clients = env_int("SDFMEM_SERVICE_CLIENTS", 4);
+  const int hot_rounds = env_int("SDFMEM_SERVICE_ROUNDS", 3);
+
+  const std::string dir =
+      "/tmp/sdfmem_service_load_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string socket_path = dir + "/d.sock";
+
+  std::vector<std::string> requests;
+  for (const Graph& g : table1_systems()) {
+    requests.push_back(write_graph_text(g));
+  }
+
+  svc::ServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.cache_dir = dir + "/cache";
+  opts.jobs = -1;  // all hardware threads: the server is the benchmark
+  opts.queue_capacity = 1024;  // admission off the critical path here
+  svc::Server server(opts);
+  server.start();
+  std::thread runner([&server] { server.run(); });
+
+  std::vector<RoundResult> rounds;
+  svc::CacheStats last{};
+  const auto snapshot = [&](RoundResult* round) {
+    const svc::ServerStats stats = server.stats();
+    round->hits = stats.cache_hits - last.hits;
+    round->misses = stats.cache_misses - last.misses;
+    last.hits = stats.cache_hits;
+    last.misses = stats.cache_misses;
+  };
+
+  {
+    // Cold: one client, an empty cache — every request compiles.
+    RoundResult cold;
+    cold.label = "cold";
+    cold.latencies_us = run_round(socket_path, requests, 1);
+    snapshot(&cold);
+    rounds.push_back(std::move(cold));
+  }
+  for (int r = 0; r < hot_rounds; ++r) {
+    RoundResult hot;
+    hot.label = "hot" + std::to_string(r + 1);
+    hot.latencies_us = run_round(socket_path, requests, clients);
+    snapshot(&hot);
+    rounds.push_back(std::move(hot));
+  }
+
+  server.stop();
+  runner.join();
+
+  std::printf("service_load: %zu graphs, %d client(s), %d hot round(s)\n",
+              requests.size(), clients, hot_rounds);
+  std::printf("%-8s %8s %10s %10s %10s %7s %7s %9s\n", "round", "reqs",
+              "p50_us", "p95_us", "p99_us", "hits", "misses", "hit_rate");
+  obs::Json rows = obs::Json::array();
+  for (RoundResult& round : rounds) {
+    std::sort(round.latencies_us.begin(), round.latencies_us.end());
+    const std::int64_t p50 = percentile(round.latencies_us, 50);
+    const std::int64_t p95 = percentile(round.latencies_us, 95);
+    const std::int64_t p99 = percentile(round.latencies_us, 99);
+    std::printf("%-8s %8zu %10lld %10lld %10lld %7lld %7lld %8.1f%%\n",
+                round.label.c_str(), round.latencies_us.size(),
+                static_cast<long long>(p50), static_cast<long long>(p95),
+                static_cast<long long>(p99),
+                static_cast<long long>(round.hits),
+                static_cast<long long>(round.misses),
+                100.0 * round.hit_rate());
+    obs::Json row = obs::Json::object();
+    row["round"] = round.label;
+    row["requests"] = static_cast<std::int64_t>(round.latencies_us.size());
+    row["p50_us"] = p50;
+    row["p95_us"] = p95;
+    row["p99_us"] = p99;
+    row["hits"] = round.hits;
+    row["misses"] = round.misses;
+    row["hit_rate"] = round.hit_rate();
+    rows.push_back(std::move(row));
+  }
+
+  // Headline: the cache's p50 speedup on hot keys vs the cold compile.
+  std::sort(rounds.front().latencies_us.begin(),
+            rounds.front().latencies_us.end());
+  const std::int64_t cold_p50 = percentile(rounds.front().latencies_us, 50);
+  const std::int64_t hot_p50 =
+      percentile(rounds.back().latencies_us, 50);
+  const double speedup =
+      hot_p50 > 0 ? static_cast<double>(cold_p50) /
+                        static_cast<double>(hot_p50)
+                  : 0.0;
+  std::printf("hot-key p50 speedup: %.1fx (cold %lld us -> hot %lld us)\n",
+              speedup, static_cast<long long>(cold_p50),
+              static_cast<long long>(hot_p50));
+
+  if (trajectory.active()) {
+    trajectory.results()["rounds"] = std::move(rows);
+    trajectory.results()["clients"] = static_cast<std::int64_t>(clients);
+    trajectory.results()["graphs"] =
+        static_cast<std::int64_t>(requests.size());
+    trajectory.results()["cold_p50_us"] = cold_p50;
+    trajectory.results()["hot_p50_us"] = hot_p50;
+    trajectory.results()["p50_speedup"] = speedup;
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdf::bench
+
+int main(int argc, char** argv) {
+  return sdf::bench::run_driver(argc, argv, sdf::bench::body);
+}

@@ -7,6 +7,8 @@
 //   sdfmem_cli stats    [graph.sdf]   # per-stage wall times + counters
 //   sdfmem_cli batch  <jobs> --out d  # crash-safe batch over .sdf jobs
 //   sdfmem_cli resume <journal>       # finish an interrupted batch
+//   sdfmem_cli serve  --socket s.sock # compile daemon (docs/SERVICE.md)
+//   sdfmem_cli client g.sdf --socket s.sock   # compile via the daemon
 //
 // Batch mode (docs/DURABILITY.md): `<jobs>` is a directory of .sdf files,
 // a single .sdf file, or a manifest listing graph paths. Progress is
@@ -23,14 +25,25 @@
 // the run and a `sdfmem.telemetry.v1` report (see docs/OBSERVABILITY.md)
 // is written to the file on exit.
 //
+// Service mode (docs/SERVICE.md): `serve` runs the long-lived compile
+// daemon on `--socket <path>` (Unix domain) and/or `--port N` (loopback
+// TCP), with a persistent content-addressed result cache under
+// `--cache <dir>`, an admission bound of `--queue N` outstanding
+// default-cost requests (`--cost-ms N` each), and `--deadline-ms` /
+// `--dp-mem-mb` as a server-side ceiling. SIGINT/SIGTERM drain
+// gracefully and exit 23. `client` sends one graph file (raw bytes — a
+// malformed graph is diagnosed by the server) and prints the response
+// JSON; `--stats` asks for the daemon's live stats document instead.
+//
 // `--jobs N` sets the worker-thread count for the parallel paths (design-
-// space exploration in `explore`, the two pipeline sides in `report`);
-// `--jobs 0` / unset honors $SDFMEM_JOBS and otherwise runs serial, and a
-// negative N means one worker per hardware thread. Output is byte-identical
-// for every jobs value.
+// space exploration in `explore`, the two pipeline sides in `report`, the
+// serve compile pool); N must be a positive integer — leave the flag
+// unset to honor $SDFMEM_JOBS and otherwise run serial. Output is
+// byte-identical for every jobs value.
 //
 // Resource governance (docs/ERRORS.md): `--deadline-ms N` and
-// `--dp-mem-mb N` install a per-run ResourceGovernor; a tripped budget
+// `--dp-mem-mb N` (both strictly positive) install a per-run
+// ResourceGovernor; a tripped budget
 // degrades the loop optimizer (chainx -> sdppo -> dppo -> flat) instead of
 // failing, and the degradation chain is reported in the output and in the
 // trace file. `--json` switches errors to a machine-readable
@@ -48,6 +61,8 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "codegen/c_codegen.h"
 #include "graphs/satellite.h"
 #include "obs/counters.h"
@@ -62,7 +77,10 @@
 #include "sdf/dot.h"
 #include "sdf/io.h"
 #include "sdf/transform.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "util/fault.h"
+#include "util/flags.h"
 #include "util/shutdown.h"
 #include "util/thread_pool.h"
 
@@ -80,7 +98,12 @@ void usage() {
       "       sdfmem_cli batch <jobs-dir|manifest|graph.sdf> --out <dir>\n"
       "                  [--journal file] [--retries N] [--backoff-ms N]\n"
       "                  [--watchdog on|off] [--jobs N] [...]\n"
-      "       sdfmem_cli resume <journal> [--jobs N]\n");
+      "       sdfmem_cli resume <journal> [--jobs N]\n"
+      "       sdfmem_cli serve [--socket path] [--port N] [--cache dir]\n"
+      "                  [--queue N] [--cost-ms N] [--jobs N]\n"
+      "                  [--deadline-ms N] [--dp-mem-mb N]\n"
+      "       sdfmem_cli client [graph.sdf] (--socket path | --port N)\n"
+      "                  [--stats] [--json]\n");
 }
 
 /// Prints the collected spans (indented by depth) and all counters/gauges.
@@ -169,8 +192,8 @@ int finish_stdout(bool json_errors) {
   return 0;
 }
 
-/// Parses a positive integer flag value; nullopt (after a usage message)
-/// when the text is not a non-negative integer.
+/// Parses a non-negative integer flag value; nullopt (after a usage
+/// message) when the text is not a non-negative integer.
 std::optional<std::int64_t> parse_count(const char* flag, const char* text) {
   char* end = nullptr;
   const long long v = std::strtoll(text, &end, 10);
@@ -181,6 +204,32 @@ std::optional<std::int64_t> parse_count(const char* flag, const char* text) {
     return std::nullopt;
   }
   return v;
+}
+
+/// Parses a strictly positive integer flag value (util/flags.h); nullopt
+/// (after a usage message) on zero, negatives, or anything non-numeric —
+/// the values atoi() used to swallow silently.
+std::optional<std::int64_t> parse_positive(const char* flag,
+                                           const char* text) {
+  const auto v = sdf::util::parse_positive_flag(text);
+  if (!v) {
+    std::fprintf(stderr, "error: %s expects a positive integer, got %s\n",
+                 flag, text);
+    usage();
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Raw bytes of a file, unparsed — the client ships graph text verbatim
+/// so a malformed graph is diagnosed by the server, not the client.
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw sdf::IoError("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw sdf::IoError("cannot read " + path);
+  return data;
 }
 
 }  // namespace
@@ -198,6 +247,12 @@ int main(int argc, char** argv) {
   int retries = 0;
   int backoff_ms = 0;
   bool watchdog = false;
+  std::string socket_path;
+  int tcp_port = 0;
+  std::string cache_dir;
+  int queue_capacity = 16;
+  std::int64_t cost_ms = 1000;
+  bool stats_request = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
@@ -252,13 +307,15 @@ int main(int argc, char** argv) {
         usage();
         return kUsageExit;
       }
-      jobs_flag = std::atoi(argv[++i]);
+      const auto v = parse_positive("--jobs", argv[++i]);
+      if (!v) return kUsageExit;
+      jobs_flag = static_cast<int>(*v);
     } else if (arg == "--deadline-ms") {
       if (i + 1 >= argc) {
         usage();
         return kUsageExit;
       }
-      const auto v = parse_count("--deadline-ms", argv[++i]);
+      const auto v = parse_positive("--deadline-ms", argv[++i]);
       if (!v) return kUsageExit;
       budget.deadline_ms = *v;
     } else if (arg == "--dp-mem-mb") {
@@ -266,9 +323,53 @@ int main(int argc, char** argv) {
         usage();
         return kUsageExit;
       }
-      const auto v = parse_count("--dp-mem-mb", argv[++i]);
+      const auto v = parse_positive("--dp-mem-mb", argv[++i]);
       if (!v) return kUsageExit;
       budget.dp_mem_bytes = *v * 1024 * 1024;
+    } else if (arg == "--socket") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      socket_path = argv[++i];
+    } else if (arg == "--port") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_positive("--port", argv[++i]);
+      if (!v || *v > 65535) {
+        if (v) {
+          std::fprintf(stderr, "error: --port expects a port <= 65535\n");
+          usage();
+        }
+        return kUsageExit;
+      }
+      tcp_port = static_cast<int>(*v);
+    } else if (arg == "--cache") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      cache_dir = argv[++i];
+    } else if (arg == "--queue") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--queue", argv[++i]);
+      if (!v) return kUsageExit;
+      queue_capacity = static_cast<int>(*v);
+    } else if (arg == "--cost-ms") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_positive("--cost-ms", argv[++i]);
+      if (!v) return kUsageExit;
+      cost_ms = *v;
+    } else if (arg == "--stats") {
+      stats_request = true;
     } else if (arg == "--json") {
       json_errors = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -285,7 +386,8 @@ int main(int argc, char** argv) {
   if (mode != "report" && mode != "schedule" && mode != "codegen" &&
       mode != "dump" && mode != "explore" && mode != "gantt" &&
       mode != "dot" && mode != "hsdf" && mode != "stats" &&
-      mode != "batch" && mode != "resume") {
+      mode != "batch" && mode != "resume" && mode != "serve" &&
+      mode != "client") {
     usage();
     return kUsageExit;
   }
@@ -294,6 +396,78 @@ int main(int argc, char** argv) {
     fault::configure_from_env();
   } catch (const std::exception& e) {
     return report_error(diagnostic_from_exception(e), json_errors);
+  }
+
+  if (mode == "serve") {
+    if (socket_path.empty() && tcp_port == 0) {
+      std::fprintf(stderr, "error: serve requires --socket and/or --port\n");
+      usage();
+      return kUsageExit;
+    }
+    util::install_shutdown_handlers();
+    if (!trace_path.empty()) {
+      obs::set_enabled(true);
+      obs::reset();
+    }
+    try {
+      svc::ServerOptions sopts;
+      sopts.socket_path = socket_path;
+      sopts.tcp_port = tcp_port;
+      sopts.cache_dir = cache_dir;
+      sopts.jobs = jobs;
+      sopts.queue_capacity = queue_capacity;
+      sopts.default_cost_ms = cost_ms;
+      sopts.budget = budget;
+      svc::Server server(sopts);
+      server.start();
+      // The readiness line goes to stderr so scripts can wait on it
+      // without disturbing anything piped from stdout.
+      std::fprintf(stderr, "sdfmemd: listening%s%s%s\n",
+                   socket_path.empty() ? "" : " on ",
+                   socket_path.c_str(),
+                   tcp_port != 0 ? " (tcp)" : "");
+      std::fflush(stderr);
+      server.run();
+    } catch (const std::exception& e) {
+      return report_error(diagnostic_from_exception(e), json_errors);
+    }
+    if (!trace_path.empty()) {
+      if (const auto diag = write_trace(trace_path, nullptr, "", false)) {
+        return report_error(*diag, json_errors);
+      }
+    }
+    if (util::shutdown_requested()) {
+      std::fprintf(stderr, "sdfmemd: drained\n");
+      return exit_code_for(ErrorCode::kInterrupted);
+    }
+    return 0;
+  }
+
+  if (mode == "client") {
+    try {
+      svc::ClientOptions copts;
+      copts.socket_path = socket_path;
+      copts.tcp_port = tcp_port;
+      svc::Client client(copts);
+      if (stats_request) {
+        std::printf("%s\n", client.stats().c_str());
+        return finish_stdout(json_errors);
+      }
+      svc::CompileRequest req;
+      req.graph_text = positional.size() > 1
+                           ? read_file_bytes(positional[1])
+                           : write_graph_text(satellite_receiver());
+      req.deadline_ms = budget.deadline_ms;
+      req.dp_mem_bytes = budget.dp_mem_bytes;
+      const Result<std::string> response = client.compile(req);
+      if (!response.ok()) {
+        return report_error(response.error(), json_errors);
+      }
+      std::printf("%s\n", response.value().c_str());
+    } catch (const std::exception& e) {
+      return report_error(diagnostic_from_exception(e), json_errors);
+    }
+    return finish_stdout(json_errors);
   }
 
   if (mode == "batch" || mode == "resume") {

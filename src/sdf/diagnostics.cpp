@@ -6,7 +6,7 @@
 namespace sdf {
 namespace {
 
-constexpr std::array<std::pair<ErrorCode, std::string_view>, 14> kNames{{
+constexpr std::array<std::pair<ErrorCode, std::string_view>, 15> kNames{{
     {ErrorCode::kOk, "ok"},
     {ErrorCode::kParse, "parse"},
     {ErrorCode::kIo, "io"},
@@ -21,6 +21,7 @@ constexpr std::array<std::pair<ErrorCode, std::string_view>, 14> kNames{{
     {ErrorCode::kInternal, "internal"},
     {ErrorCode::kCorruptJournal, "corrupt-journal"},
     {ErrorCode::kInterrupted, "interrupted"},
+    {ErrorCode::kOverloaded, "overloaded"},
 }};
 
 }  // namespace
@@ -41,7 +42,7 @@ ErrorCode error_code_from_name(std::string_view name) noexcept {
 
 int exit_code_for(ErrorCode code) noexcept {
   if (code == ErrorCode::kOk) return 0;
-  return 10 + static_cast<int>(code);  // kParse=11 ... kInterrupted=23
+  return 10 + static_cast<int>(code);  // kParse=11 ... kOverloaded=24
 }
 
 Diagnostic diagnostic_from_exception(const std::exception& e) {

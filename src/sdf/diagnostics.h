@@ -20,7 +20,7 @@ namespace sdf {
 [[nodiscard]] ErrorCode error_code_from_name(std::string_view name) noexcept;
 
 /// Distinct process exit code per ErrorCode (documented in docs/ERRORS.md):
-/// kOk -> 0, then 10 + enum position (kParse -> 11, ... kInternal -> 21).
+/// kOk -> 0, then 10 + enum position (kParse -> 11, ... kOverloaded -> 24).
 /// 1 and 2 stay reserved for generic failure and usage errors.
 [[nodiscard]] int exit_code_for(ErrorCode code) noexcept;
 

@@ -1,0 +1,91 @@
+// Persistent content-addressed result cache for the compile service
+// (docs/SERVICE.md, "Result cache").
+//
+// Layout under the cache directory:
+//
+//   <dir>/index.journal          crash-consistent index (util/journal.h);
+//                                header {"schema": "sdfmem.cache.v1"},
+//                                then one record per insert:
+//                                {"key": "<16-hex>", "crc": u32,
+//                                 "bytes": N}
+//   <dir>/objects/<16-hex>.json  the exact response payload bytes,
+//                                published with an atomic rename
+//                                (util::atomic_write_file)
+//
+// Durability: an insert writes the object file atomically first, then
+// appends the index record (single write + fsync). A SIGKILL between the
+// two leaves an orphan object that the index never mentions — wasted
+// bytes, never a wrong answer. A torn index tail is truncated on open by
+// the journal recovery, exactly like the batch journal.
+//
+// Integrity: every lookup re-reads the object file and verifies its size
+// and CRC32 against the index record. A flipped byte (or a truncated
+// object from a dying filesystem) turns the lookup into a miss and drops
+// the entry — the caller recompiles and re-inserts; corrupt bytes are
+// never served. Duplicate index records for one key are legal (a
+// re-insert after corruption); the last record wins on replay.
+//
+// Thread safety: all methods are safe from concurrent request handlers;
+// the disk I/O of lookup()/insert() runs outside the map lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/journal.h"
+
+namespace sdf::svc {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t inserts = 0;
+  std::int64_t corrupt = 0;   ///< entries dropped on a failed verify
+  std::int64_t entries = 0;   ///< live index size
+};
+
+class ResultCache {
+ public:
+  /// Opens (or creates) the cache under `dir`, replaying the index
+  /// journal and truncating any torn tail. Throws IoError when the
+  /// directory cannot be created/read and CorruptJournalError when the
+  /// index exists but is not a cache index at all.
+  explicit ResultCache(const std::string& dir);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached payload for `key`, verified against the index record's
+  /// size and CRC32. A missing, short, or corrupt object is a miss (the
+  /// entry is dropped and counted in CacheStats::corrupt).
+  [[nodiscard]] std::optional<std::string> lookup(std::uint64_t key);
+
+  /// Stores `payload` under `key`: atomic object write, then a durable
+  /// index append. Idempotent — a key that is already live is left
+  /// untouched (first writer wins, so hot responses stay byte-stable).
+  void insert(std::uint64_t key, std::string_view payload);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint32_t crc = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] std::string object_path(std::uint64_t key) const;
+
+  std::string dir_;
+  std::optional<util::JournalWriter> writer_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace sdf::svc

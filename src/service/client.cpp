@@ -1,0 +1,165 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/json_report.h"
+#include "sdf/diagnostics.h"
+
+namespace sdf::svc {
+namespace {
+
+void send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("client: send(): ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::Client(const ClientOptions& options) {
+  if (!options.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw BadArgumentError("client: socket path too long: " +
+                             options.socket_path);
+    }
+    std::memcpy(addr.sun_path, options.socket_path.c_str(),
+                options.socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw IoError(std::string("client: socket(): ") + std::strerror(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      const std::string detail = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw IoError("client: cannot connect to " + options.socket_path +
+                    ": " + detail);
+    }
+    return;
+  }
+  if (options.tcp_port <= 0) {
+    throw BadArgumentError("client: no endpoint (need --socket or --port)");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError(std::string("client: socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("client: cannot connect to 127.0.0.1:" +
+                  std::to_string(options.tcp_port) + ": " + detail);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::roundtrip(FrameKind kind, std::string_view payload) {
+  send_all(fd_, encode_frame(kind, payload));
+  std::string buffer;
+  char chunk[65536];
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus st = decode_frame(buffer, &frame, &consumed);
+    if (st == DecodeStatus::kOk) return frame;
+    if (st != DecodeStatus::kNeedMore) {
+      throw IoError("client: malformed reply frame (" +
+                    std::string(decode_status_name(st)) + ")");
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("client: recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      throw IoError("client: connection closed mid-reply "
+                    "(daemon draining or crashed?)");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::string> Client::compile(const CompileRequest& request) {
+  const Frame reply = roundtrip(FrameKind::kCompileRequest,
+                                encode_compile_request(request));
+  if (reply.kind == FrameKind::kCompileResponse) return reply.payload;
+  if (reply.kind == FrameKind::kErrorResponse) {
+    return parse_error_response(reply.payload);
+  }
+  throw IoError("client: unexpected reply kind " +
+                std::to_string(static_cast<int>(reply.kind)));
+}
+
+bool Client::ping(std::string_view token) {
+  const Frame reply = roundtrip(FrameKind::kPing, token);
+  return reply.kind == FrameKind::kPong && reply.payload == token;
+}
+
+std::string Client::stats() {
+  const Frame reply = roundtrip(FrameKind::kStatsRequest, "");
+  if (reply.kind != FrameKind::kStatsResponse) {
+    throw IoError("client: unexpected reply to stats request");
+  }
+  return reply.payload;
+}
+
+Diagnostic parse_error_response(std::string_view payload) {
+  Diagnostic diag;
+  try {
+    const obs::Json doc = obs::Json::parse(payload);
+    const obs::Json* error = doc.find("error");
+    if (error == nullptr) throw std::runtime_error("no error object");
+    if (const obs::Json* code = error->find("code")) {
+      diag.code = error_code_from_name(code->as_string());
+    }
+    if (const obs::Json* message = error->find("message")) {
+      diag.message = message->as_string();
+    }
+    if (const obs::Json* actor = error->find("actor")) {
+      diag.actor = actor->as_string();
+    }
+    if (const obs::Json* edge = error->find("edge")) {
+      diag.edge = edge->as_string();
+    }
+    if (const obs::Json* loc = error->find("loc")) {
+      if (const obs::Json* line = loc->find("line")) {
+        diag.loc.line = static_cast<int>(line->as_int());
+      }
+      if (const obs::Json* column = loc->find("column")) {
+        diag.loc.column = static_cast<int>(column->as_int());
+      }
+    }
+  } catch (const std::exception&) {
+    diag.code = ErrorCode::kInternal;
+    diag.message = "unparseable error response: " + std::string(payload);
+  }
+  return diag;
+}
+
+}  // namespace sdf::svc

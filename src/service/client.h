@@ -1,0 +1,58 @@
+// Blocking client for the sdfmemd wire protocol (docs/SERVICE.md).
+//
+// One Client owns one connection; requests on it are strictly
+// request/response (the protocol has no pipelining). The CLI `client`
+// mode and the bench load generator both sit on top of this class.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace sdf::svc {
+
+struct ClientOptions {
+  /// Unix-domain socket path to connect to; empty means use TCP.
+  std::string socket_path;
+  /// Loopback TCP port; used when socket_path is empty.
+  int tcp_port = 0;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws IoError when the daemon is not
+  /// reachable and BadArgumentError when no endpoint is configured.
+  explicit Client(const ClientOptions& options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one frame and blocks for the next frame from the server.
+  /// Throws IoError on a broken connection or a malformed reply frame.
+  [[nodiscard]] Frame roundtrip(FrameKind kind, std::string_view payload);
+
+  /// Sends a compile request. ok() carries the exact response payload
+  /// bytes (the telemetry JSON document); the error branch carries the
+  /// server's typed Diagnostic, reconstructed from the error response
+  /// (so exit_code_for() maps it exactly like a local failure).
+  [[nodiscard]] Result<std::string> compile(const CompileRequest& request);
+
+  /// Round-trips a ping; true when the pong echoed the token.
+  [[nodiscard]] bool ping(std::string_view token = "sdfmem");
+
+  /// The server's live stats document (sdfmem.stats.v1).
+  [[nodiscard]] std::string stats();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Parses the payload of a kErrorResponse frame back into the Diagnostic
+/// the server sent ({"error": {code, message, ...}}). Unparseable
+/// payloads become a kInternal diagnostic quoting the raw bytes.
+[[nodiscard]] Diagnostic parse_error_response(std::string_view payload);
+
+}  // namespace sdf::svc

@@ -1,0 +1,241 @@
+#include "service/protocol.h"
+
+#include <cstdio>
+
+#include "obs/json_report.h"
+#include "util/crc32.h"
+#include "util/hash.h"
+
+namespace sdf::svc {
+namespace {
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32_le(std::string_view data, std::size_t off) {
+  return static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data[off])) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(data[off + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(data[off + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(data[off + 3]))
+          << 24);
+}
+
+Diagnostic bad_request(std::string message) {
+  Diagnostic diag;
+  diag.code = ErrorCode::kBadArgument;
+  diag.message = std::move(message);
+  return diag;
+}
+
+}  // namespace
+
+bool frame_kind_valid(std::uint8_t kind) noexcept {
+  return kind >= static_cast<std::uint8_t>(FrameKind::kCompileRequest) &&
+         kind <= static_cast<std::uint8_t>(FrameKind::kStatsResponse);
+}
+
+std::string encode_frame(FrameKind kind, std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    throw BadArgumentError("encode_frame: payload exceeds " +
+                           std::to_string(kMaxPayloadBytes) + " bytes");
+  }
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic);
+  out.push_back(static_cast<char>(kind));
+  put_u32_le(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(out, util::crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+DecodeStatus decode_frame(std::string_view buffer, Frame* out,
+                          std::size_t* consumed) {
+  *consumed = 0;
+  // Reject a wrong magic as soon as the prefix diverges, not only once 16
+  // bytes arrived — a plain-text client gets cut off immediately.
+  const std::size_t check = std::min(buffer.size(), kMagic.size());
+  if (buffer.substr(0, check) != kMagic.substr(0, check)) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (buffer.size() < kHeaderBytes) return DecodeStatus::kNeedMore;
+  const auto kind = static_cast<std::uint8_t>(buffer[kMagic.size()]);
+  if (!frame_kind_valid(kind)) return DecodeStatus::kBadKind;
+  const std::uint32_t len = get_u32_le(buffer, 8);
+  if (len > kMaxPayloadBytes) return DecodeStatus::kTooLarge;
+  const std::uint32_t crc = get_u32_le(buffer, 12);
+  if (buffer.size() < kHeaderBytes + len) return DecodeStatus::kNeedMore;
+  const std::string_view payload = buffer.substr(kHeaderBytes, len);
+  if (util::crc32(payload) != crc) return DecodeStatus::kBadCrc;
+  out->kind = static_cast<FrameKind>(kind);
+  out->payload.assign(payload);
+  *consumed = kHeaderBytes + len;
+  return DecodeStatus::kOk;
+}
+
+std::string_view decode_status_name(DecodeStatus s) noexcept {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadKind: return "bad-kind";
+    case DecodeStatus::kTooLarge: return "too-large";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+  }
+  return "?";
+}
+
+std::string_view alloc_order_name(FirstFitOrder order) noexcept {
+  switch (order) {
+    case FirstFitOrder::kByDuration: return "duration";
+    case FirstFitOrder::kByStartTime: return "start";
+    case FirstFitOrder::kByWidth: return "width";
+    case FirstFitOrder::kInputOrder: return "input";
+  }
+  return "?";
+}
+
+std::optional<OrderHeuristic> order_from_name(std::string_view name) noexcept {
+  if (name == "apgan") return OrderHeuristic::kApgan;
+  if (name == "rpmc") return OrderHeuristic::kRpmc;
+  if (name == "rpmc*") return OrderHeuristic::kRpmcMultistart;
+  if (name == "topo") return OrderHeuristic::kTopological;
+  return std::nullopt;
+}
+
+std::optional<LoopOptimizer> optimizer_from_name(
+    std::string_view name) noexcept {
+  if (name == "dppo") return LoopOptimizer::kDppo;
+  if (name == "sdppo") return LoopOptimizer::kSdppo;
+  if (name == "chainx") return LoopOptimizer::kChainExact;
+  if (name == "flat") return LoopOptimizer::kFlat;
+  return std::nullopt;
+}
+
+std::optional<FirstFitOrder> alloc_order_from_name(
+    std::string_view name) noexcept {
+  if (name == "duration") return FirstFitOrder::kByDuration;
+  if (name == "start") return FirstFitOrder::kByStartTime;
+  if (name == "width") return FirstFitOrder::kByWidth;
+  if (name == "input") return FirstFitOrder::kInputOrder;
+  return std::nullopt;
+}
+
+std::string encode_compile_request(const CompileRequest& req) {
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "sdfmem.request.v1";
+  doc["graph"] = req.graph_text;
+  obs::Json opts = obs::Json::object();
+  opts["order"] = std::string(order_name(req.options.order));
+  opts["optimizer"] = std::string(optimizer_name(req.options.optimizer));
+  opts["alloc"] = std::string(alloc_order_name(req.options.allocation_order));
+  opts["blocking"] = req.options.blocking_factor;
+  if (req.deadline_ms > 0) opts["deadline_ms"] = req.deadline_ms;
+  if (req.dp_mem_bytes > 0) opts["dp_mem_bytes"] = req.dp_mem_bytes;
+  doc["options"] = std::move(opts);
+  return doc.dump();
+}
+
+Result<CompileRequest> parse_compile_request(std::string_view payload) {
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(payload);
+  } catch (const std::exception& e) {
+    return bad_request(std::string("compile request: ") + e.what());
+  }
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "sdfmem.request.v1") {
+    return bad_request("compile request: missing or unknown schema");
+  }
+  const obs::Json* graph = doc.find("graph");
+  if (graph == nullptr || graph->type() != obs::Json::Type::kString) {
+    return bad_request("compile request: missing graph text");
+  }
+  CompileRequest req;
+  req.graph_text = graph->as_string();
+  if (const obs::Json* opts = doc.find("options")) {
+    if (const obs::Json* v = opts->find("order")) {
+      const auto order = order_from_name(v->as_string());
+      if (!order) {
+        return bad_request("compile request: unknown order '" +
+                           v->as_string() + "'");
+      }
+      req.options.order = *order;
+    }
+    if (const obs::Json* v = opts->find("optimizer")) {
+      const auto opt = optimizer_from_name(v->as_string());
+      if (!opt) {
+        return bad_request("compile request: unknown optimizer '" +
+                           v->as_string() + "'");
+      }
+      req.options.optimizer = *opt;
+    }
+    if (const obs::Json* v = opts->find("alloc")) {
+      const auto alloc = alloc_order_from_name(v->as_string());
+      if (!alloc) {
+        return bad_request("compile request: unknown alloc order '" +
+                           v->as_string() + "'");
+      }
+      req.options.allocation_order = *alloc;
+    }
+    if (const obs::Json* v = opts->find("blocking")) {
+      if (v->type() != obs::Json::Type::kInt || v->as_int() < 1) {
+        return bad_request("compile request: blocking must be a positive "
+                           "integer");
+      }
+      req.options.blocking_factor = v->as_int();
+    }
+    if (const obs::Json* v = opts->find("deadline_ms")) {
+      if (v->type() != obs::Json::Type::kInt || v->as_int() < 0) {
+        return bad_request("compile request: deadline_ms must be a "
+                           "non-negative integer");
+      }
+      req.deadline_ms = v->as_int();
+    }
+    if (const obs::Json* v = opts->find("dp_mem_bytes")) {
+      if (v->type() != obs::Json::Type::kInt || v->as_int() < 0) {
+        return bad_request("compile request: dp_mem_bytes must be a "
+                           "non-negative integer");
+      }
+      req.dp_mem_bytes = v->as_int();
+    }
+  }
+  return req;
+}
+
+std::string option_fingerprint(const CompileRequest& req) {
+  std::string fp = "order=";
+  fp += order_name(req.options.order);
+  fp += ";opt=";
+  fp += optimizer_name(req.options.optimizer);
+  fp += ";alloc=";
+  fp += alloc_order_name(req.options.allocation_order);
+  fp += ";block=" + std::to_string(req.options.blocking_factor);
+  fp += ";deadline=" + std::to_string(req.deadline_ms);
+  fp += ";dpmem=" + std::to_string(req.dp_mem_bytes);
+  return fp;
+}
+
+std::uint64_t cache_key(std::string_view canonical_graph,
+                        std::string_view fingerprint) noexcept {
+  return util::fnv1a64(fingerprint, util::fnv1a64(canonical_graph));
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace sdf::svc

@@ -1,0 +1,571 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "obs/counters.h"
+#include "obs/json_report.h"
+#include "obs/trace.h"
+#include "sdf/diagnostics.h"
+#include "sdf/io.h"
+#include "util/shutdown.h"
+
+namespace sdf::svc {
+namespace {
+
+/// Ladder rank for load-shed capping; higher = more expensive.
+int optimizer_rank(LoopOptimizer opt) noexcept {
+  switch (opt) {
+    case LoopOptimizer::kChainExact: return 3;
+    case LoopOptimizer::kSdppo: return 2;
+    case LoopOptimizer::kDppo: return 1;
+    case LoopOptimizer::kFlat: return 0;
+  }
+  return 0;
+}
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool send_all(int fd, std::string_view data) noexcept {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; nothing sensible to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::int64_t us) noexcept {
+  std::size_t i = 0;
+  while (i < kLatencyBucketUs.size() && us > kLatencyBucketUs[i]) ++i;
+  ++buckets[i];
+  ++count;
+  sum_us += us;
+}
+
+std::int64_t LatencyHistogram::percentile_us(double p) const noexcept {
+  if (count <= 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= target) {
+      return i < kLatencyBucketUs.size() ? kLatencyBucketUs[i]
+                                         : kLatencyBucketUs.back() * 10;
+    }
+  }
+  return kLatencyBucketUs.back() * 10;
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.default_cost_ms <= 0) options_.default_cost_ms = 1;
+  if (!options_.cache_dir.empty()) cache_.emplace(options_.cache_dir);
+  pool_ = std::make_unique<util::ThreadPool>(
+      util::ThreadPool::resolve_jobs(options_.jobs));
+}
+
+Server::~Server() {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+}
+
+bool Server::stop_requested() const noexcept {
+  return stop_.load(std::memory_order_relaxed) || util::shutdown_requested();
+}
+
+void Server::stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+void Server::start() {
+  if (options_.socket_path.empty() && options_.tcp_port == 0) {
+    throw BadArgumentError("serve: no listener configured "
+                           "(need --socket and/or --port)");
+  }
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw BadArgumentError("serve: socket path too long: " +
+                             options_.socket_path);
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) {
+      throw IoError(std::string("serve: socket(): ") + std::strerror(errno));
+    }
+    ::unlink(options_.socket_path.c_str());  // replace a stale socket
+    if (::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(unix_fd_, 64) != 0) {
+      const std::string detail = std::strerror(errno);
+      close_fd(unix_fd_);
+      throw IoError("serve: cannot listen on " + options_.socket_path +
+                    ": " + detail);
+    }
+  }
+  if (options_.tcp_port != 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) {
+      close_fd(unix_fd_);
+      throw IoError(std::string("serve: socket(): ") + std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(options_.tcp_port > 0
+                  ? static_cast<std::uint16_t>(options_.tcp_port)
+                  : 0);
+    if (::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(tcp_fd_, 64) != 0) {
+      const std::string detail = std::strerror(errno);
+      close_fd(unix_fd_);
+      close_fd(tcp_fd_);
+      throw IoError("serve: cannot listen on loopback TCP: " + detail);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+}
+
+void Server::run() {
+  while (!stop_requested()) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    if (unix_fd_ >= 0) fds[nfds++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[nfds++] = pollfd{tcp_fd_, POLLIN, 0};
+    const int r = ::poll(fds, nfds, 50);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.connections;
+      }
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.emplace_back([this, conn] { serve_connection(conn); });
+    }
+  }
+  // Drain: no new connections; every connection thread finishes the
+  // requests it already received and exits.
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+  pool_->wait();
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[65536];
+  for (;;) {
+    // Process every complete frame already buffered — including during a
+    // drain, so requests received before shutdown still get answers.
+    for (;;) {
+      Frame frame;
+      std::size_t consumed = 0;
+      const DecodeStatus st = decode_frame(buffer, &frame, &consumed);
+      if (st == DecodeStatus::kOk) {
+        buffer.erase(0, consumed);
+        handle_frame(fd, frame);
+        continue;
+      }
+      if (st == DecodeStatus::kNeedMore) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.bad_frames;
+      }
+      obs::count("service.bad_frames");
+      Diagnostic diag;
+      diag.code = ErrorCode::kBadArgument;
+      diag.message =
+          "bad frame: " + std::string(decode_status_name(st)) +
+          " (protocol SDFSVC1, see docs/SERVICE.md)";
+      send_error(fd, diag);
+      ::close(fd);
+      return;
+    }
+    if (stop_requested()) break;
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, 50);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // EOF or error — client is done
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+}
+
+void Server::handle_frame(int fd, const Frame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kPing:
+      send_frame(fd, FrameKind::kPong, frame.payload);
+      return;
+    case FrameKind::kStatsRequest:
+      send_frame(fd, FrameKind::kStatsResponse, stats_json());
+      return;
+    case FrameKind::kCompileRequest:
+      handle_compile(fd, frame.payload);
+      return;
+    default: {
+      Diagnostic diag;
+      diag.code = ErrorCode::kBadArgument;
+      diag.message = "unexpected frame kind " +
+                     std::to_string(static_cast<int>(frame.kind)) +
+                     " (server accepts compile/ping/stats requests)";
+      send_error(fd, diag);
+      return;
+    }
+  }
+}
+
+Server::Admission Server::admit(std::int64_t deadline_ms) {
+  Admission adm;
+  adm.cost_ms =
+      deadline_ms > 0 ? deadline_ms : options_.default_cost_ms;
+  const std::int64_t capacity_ms =
+      static_cast<std::int64_t>(options_.queue_capacity) *
+      options_.default_cost_ms;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (backlog_ms_ + adm.cost_ms > capacity_ms) {
+    adm.rejected_overloaded = true;
+    ++stats_.overloaded;
+    obs::count("service.overloaded");
+    return adm;
+  }
+  const std::int64_t after = backlog_ms_ + adm.cost_ms;
+  // Load-shed tiers reuse the compile degradation ladder: past 1/2 of
+  // capacity cap the optimizer at DPPO, past 3/4 drop to the flat
+  // schedule over a plain topological order.
+  if (capacity_ms > 0) {
+    if (after * 4 >= capacity_ms * 3) {
+      adm.optimizer_cap = LoopOptimizer::kFlat;
+      adm.force_topo_order = true;
+    } else if (after * 2 >= capacity_ms) {
+      adm.optimizer_cap = LoopOptimizer::kDppo;
+    }
+  }
+  backlog_ms_ += adm.cost_ms;
+  ++queue_depth_;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
+  obs::gauge("service.queue_depth", queue_depth_);
+  adm.admitted = true;
+  return adm;
+}
+
+void Server::release(const Admission& admission) {
+  if (!admission.admitted) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  backlog_ms_ -= admission.cost_ms;
+  --queue_depth_;
+  obs::gauge("service.queue_depth", queue_depth_);
+}
+
+void Server::handle_compile(int fd, std::string_view payload) {
+  const auto started = std::chrono::steady_clock::now();
+  const auto finish = [&] {
+    record_latency(std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - started)
+                       .count());
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  obs::count("service.requests");
+
+  Result<CompileRequest> parsed = parse_compile_request(payload);
+  if (!parsed.ok()) {
+    send_error(fd, parsed.error());
+    finish();
+    return;
+  }
+  const CompileRequest& req = parsed.value();
+
+  Graph g;
+  try {
+    g = parse_graph_text(req.graph_text);
+  } catch (const std::exception& e) {
+    send_error(fd, diagnostic_from_exception(e));
+    finish();
+    return;
+  }
+  const std::string canonical = write_graph_text(g);
+  const std::string fingerprint = option_fingerprint(req);
+  const std::uint64_t key = cache_key(canonical, fingerprint);
+
+  if (cache_.has_value()) {
+    if (std::optional<std::string> hit = cache_->lookup(key)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.cache_hits;
+        ++stats_.responses_ok;
+      }
+      send_frame(fd, FrameKind::kCompileResponse, *hit);
+      finish();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cache_misses;
+  }
+
+  const Admission admission = admit(req.deadline_ms);
+  if (admission.rejected_overloaded) {
+    Diagnostic diag;
+    diag.code = ErrorCode::kOverloaded;
+    diag.message =
+        "server overloaded: admission backlog exceeds capacity "
+        "(queue " +
+        std::to_string(options_.queue_capacity) + " x " +
+        std::to_string(options_.default_cost_ms) + " ms); retry later";
+    send_error(fd, diag);
+    finish();
+    return;
+  }
+
+  // Apply the load-shed tier, if any, without touching the request's own
+  // option fingerprint — shed responses are served but never cached.
+  CompileOptions effective = req.options;
+  bool shedded = false;
+  if (admission.optimizer_cap.has_value() &&
+      optimizer_rank(effective.optimizer) >
+          optimizer_rank(*admission.optimizer_cap)) {
+    effective.optimizer = *admission.optimizer_cap;
+    shedded = true;
+  }
+  if (admission.force_topo_order &&
+      effective.order != OrderHeuristic::kTopological) {
+    effective.order = OrderHeuristic::kTopological;
+    shedded = true;
+  }
+  if (shedded) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_degraded;
+    obs::count("service.shed_degraded");
+  }
+
+  // Merge the request budget under the server ceiling: the tighter of
+  // the two nonzero values wins on each axis.
+  ResourceBudget budget = options_.budget;
+  if (req.deadline_ms > 0 &&
+      (budget.deadline_ms == 0 || req.deadline_ms < budget.deadline_ms)) {
+    budget.deadline_ms = req.deadline_ms;
+  }
+  if (req.dp_mem_bytes > 0 &&
+      (budget.dp_mem_bytes == 0 ||
+       req.dp_mem_bytes < budget.dp_mem_bytes)) {
+    budget.dp_mem_bytes = req.dp_mem_bytes;
+  }
+  const bool governed = budget.deadline_ms > 0 || budget.dp_mem_bytes > 0;
+
+  const auto run_compile = [&]() -> Result<CompileResult> {
+    const obs::Span span("service.compile");
+    if (!governed) return compile_checked(g, effective);
+    // The governor scope is process-global; budgeted compiles serialize
+    // so concurrent scopes cannot cross-restore.
+    std::lock_guard<std::mutex> lock(governed_mu_);
+    ResourceGovernor governor(budget);
+    const ResourceGovernor::Scope scope(governor);
+    return compile_checked(g, effective);
+  };
+
+  std::optional<Result<CompileResult>> outcome;
+  if (pool_->threads() == 0) {
+    // Worker spawning failed (pool_spawn fault / exhausted host): degrade
+    // to compiling on the connection thread rather than deadlocking.
+    outcome.emplace(run_compile());
+  } else {
+    std::promise<void> done;
+    pool_->submit([&] {
+      outcome.emplace(run_compile());
+      done.set_value();
+    });
+    done.get_future().wait();
+  }
+  release(admission);
+
+  if (!outcome->ok()) {
+    send_error(fd, outcome->error());
+    finish();
+    return;
+  }
+  const CompileResult& res = outcome->value();
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "sdfmem.telemetry.v1";
+  doc["tool"] = "sdfmemd";
+  obs::Json graph = obs::Json::object();
+  graph["name"] = g.name();
+  graph["actors"] = static_cast<std::int64_t>(g.num_actors());
+  graph["edges"] = static_cast<std::int64_t>(g.num_edges());
+  doc["graph"] = std::move(graph);
+  obs::Json request = obs::Json::object();
+  request["key"] = key_hex(key);
+  request["options"] = fingerprint;
+  doc["request"] = std::move(request);
+  obs::Json results = obs::Json::object();
+  results["schedule"] = res.schedule.to_string(g);
+  results["nonshared_bufmem"] = res.nonshared_bufmem;
+  results["dp_estimate"] = res.dp_estimate;
+  results["shared_size"] = res.shared_size;
+  results["bmlb"] = res.bmlb;
+  results["mcw_optimistic"] = res.mcw_optimistic;
+  results["mcw_pessimistic"] = res.mcw_pessimistic;
+  results["order"] = std::string(order_name(effective.order));
+  results["optimizer"] =
+      std::string(optimizer_name(res.effective_optimizer));
+  results["requested_optimizer"] =
+      std::string(optimizer_name(req.options.optimizer));
+  if (!res.degradation_path().empty()) {
+    results["degraded_from"] = res.degradation_path();
+  }
+  if (res.order_degraded) results["order_degraded"] = true;
+  if (shedded) results["load_shed"] = true;
+  doc["results"] = std::move(results);
+  const std::string response = doc.dump(2);
+
+  // Only full-fidelity compiles enter the cache: a shed- or
+  // budget-degraded result depends on transient load and must never be
+  // replayed as the canonical answer for this key.
+  const bool cacheable = cache_.has_value() && !shedded &&
+                         res.degradation_path().empty() &&
+                         !res.order_degraded;
+  if (cacheable) cache_->insert(key, response);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.responses_ok;
+  }
+  send_frame(fd, FrameKind::kCompileResponse, response);
+  finish();
+}
+
+void Server::send_frame(int fd, FrameKind kind, std::string_view payload) {
+  send_all(fd, encode_frame(kind, payload));
+}
+
+void Server::send_error(int fd, const Diagnostic& diag) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.errors;
+  }
+  obs::count("service.errors");
+  obs::Json doc = obs::Json::object();
+  doc["error"] = diagnostic_to_json(diag);
+  send_frame(fd, FrameKind::kErrorResponse, doc.dump(2));
+}
+
+void Server::record_latency(std::int64_t us) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.latency.record(us);
+  }
+  std::size_t i = 0;
+  while (i < kLatencyBucketUs.size() && us > kLatencyBucketUs[i]) ++i;
+  obs::count(i < kLatencyBucketUs.size()
+                 ? "service.latency_le_us." +
+                       std::to_string(kLatencyBucketUs[i])
+                 : std::string("service.latency_le_us.inf"));
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string Server::stats_json() const {
+  ServerStats snapshot;
+  std::int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+    depth = queue_depth_;
+  }
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "sdfmem.stats.v1";
+  doc["requests"] = snapshot.requests;
+  doc["responses_ok"] = snapshot.responses_ok;
+  doc["errors"] = snapshot.errors;
+  doc["overloaded"] = snapshot.overloaded;
+  doc["shed_degraded"] = snapshot.shed_degraded;
+  doc["bad_frames"] = snapshot.bad_frames;
+  doc["connections"] = snapshot.connections;
+  doc["queue_depth"] = depth;
+  doc["max_queue_depth"] = snapshot.max_queue_depth;
+  obs::Json cache = obs::Json::object();
+  if (cache_.has_value()) {
+    const CacheStats cs = cache_->stats();
+    cache["hits"] = cs.hits;
+    cache["misses"] = cs.misses;
+    cache["inserts"] = cs.inserts;
+    cache["corrupt"] = cs.corrupt;
+    cache["entries"] = cs.entries;
+  }
+  doc["cache"] = std::move(cache);
+  obs::Json latency = obs::Json::object();
+  latency["count"] = snapshot.latency.count;
+  latency["sum_us"] = snapshot.latency.sum_us;
+  latency["p50_us"] = snapshot.latency.percentile_us(50);
+  latency["p95_us"] = snapshot.latency.percentile_us(95);
+  latency["p99_us"] = snapshot.latency.percentile_us(99);
+  doc["latency"] = std::move(latency);
+  return doc.dump(2);
+}
+
+}  // namespace sdf::svc

@@ -1,0 +1,189 @@
+// sdfmemd: the long-running compile daemon (docs/SERVICE.md).
+//
+// Request lifecycle:
+//
+//   accept -> frame decode -> request parse -> graph canonicalize
+//     -> cache lookup ──hit──────────────────────────┐
+//     -> admission control ──shed──> overloaded error│
+//     -> compile on util/thread_pool                 │
+//     -> cache insert (full-fidelity results only)   │
+//     -> response frame <──────────────────────────────┘
+//
+// Concurrency model: the accept loop runs on the caller of run(); each
+// connection gets its own reader thread (connections are cheap and block
+// on I/O), while compiles fan out on the shared util::ThreadPool — the
+// expensive work is bounded by the worker count, never by the connection
+// count.
+//
+// Admission control and load shedding: every compile that misses the
+// cache carries a cost — its requested deadline_ms, or
+// `default_cost_ms` when it has none. Costs of queued-or-running
+// compiles accumulate into a backlog; the capacity is
+// `queue_capacity * default_cost_ms`. A request whose admission would
+// push the backlog past capacity is rejected with a typed `overloaded`
+// diagnostic (ErrorCode::kOverloaded, exit code 24) — backpressure the
+// client can see and retry. Before that hard limit, load reuses the
+// pipeline's degradation ladder (pipeline/compile.h): at >= 1/2 of
+// capacity the loop optimizer is capped at kDppo, at >= 3/4 it is forced
+// to kFlat and the ordering heuristic to the plain topological sort.
+// Shed-degraded responses are served but never cached, so cache entries
+// are always full-fidelity and hot responses stay byte-identical to an
+// unloaded cold compile.
+//
+// Graceful drain (util/shutdown.h): once SIGINT/SIGTERM sets the
+// shutdown flag (or stop() is called), the accept loop closes the
+// listeners, connection threads finish the requests already received and
+// exit, the pool drains, and run() returns. Every cache insert was
+// already durable when its response left, so there is nothing to flush —
+// the index survives even SIGKILL. The CLI maps a signal-initiated drain
+// to exit code 23 (kInterrupted).
+//
+// Telemetry (docs/OBSERVABILITY.md): service.requests,
+// service.cache.{hits,misses,inserts,corrupt}, service.overloaded,
+// service.shed_degraded, service.errors, gauge service.queue_depth, and
+// the latency histogram counters service.latency_le_us.<bound>.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/governor.h"
+#include "service/cache.h"
+#include "service/protocol.h"
+#include "util/thread_pool.h"
+
+namespace sdf::svc {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the Unix listener. An
+  /// existing socket file at the path is replaced (stale-daemon cleanup).
+  std::string socket_path;
+  /// Loopback TCP port; 0 disables the TCP listener, negative asks for an
+  /// ephemeral port (read back via Server::tcp_port()).
+  int tcp_port = 0;
+  /// Result-cache directory; empty runs without a cache.
+  std::string cache_dir;
+  /// Compile worker threads (util::ThreadPool::resolve_jobs semantics).
+  int jobs = 1;
+  /// Admission bound: capacity is queue_capacity * default_cost_ms of
+  /// backlog. 0 sheds every cache miss (useful for tests and for a
+  /// read-only replica serving only cached results).
+  int queue_capacity = 16;
+  /// Cost charged for a request that carries no deadline, in ms.
+  std::int64_t default_cost_ms = 1000;
+  /// Server-side ceiling applied to every compile; a request's own
+  /// budget can only tighten it.
+  ResourceBudget budget;
+};
+
+/// Upper bucket bounds (microseconds) of the request-latency histogram;
+/// one overflow bucket follows.
+inline constexpr std::array<std::int64_t, 8> kLatencyBucketUs = {
+    100, 300, 1000, 3000, 10000, 30000, 100000, 300000};
+
+struct LatencyHistogram {
+  std::array<std::int64_t, kLatencyBucketUs.size() + 1> buckets{};
+  std::int64_t count = 0;
+  std::int64_t sum_us = 0;
+
+  void record(std::int64_t us) noexcept;
+  /// Upper-bound estimate of the p-th percentile (p in [0, 100]); 0 when
+  /// empty. Resolution is the bucket granularity.
+  [[nodiscard]] std::int64_t percentile_us(double p) const noexcept;
+};
+
+struct ServerStats {
+  std::int64_t requests = 0;
+  std::int64_t responses_ok = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t overloaded = 0;
+  std::int64_t shed_degraded = 0;  ///< served, but at a load-capped tier
+  std::int64_t errors = 0;         ///< error responses sent
+  std::int64_t bad_frames = 0;     ///< connections dropped on bad framing
+  std::int64_t connections = 0;
+  std::int64_t max_queue_depth = 0;
+  LatencyHistogram latency;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners. Throws IoError when none can be
+  /// bound (and BadArgumentError when none is configured).
+  void start();
+
+  /// Accept loop; returns after a graceful drain once stop() was called
+  /// or the process shutdown flag (util/shutdown.h) is set. start() must
+  /// have succeeded.
+  void run();
+
+  /// Requests a drain (idempotent, callable from any thread or from a
+  /// signal-adjacent context).
+  void stop() noexcept;
+
+  /// The bound TCP port (after start()); 0 when the TCP listener is off.
+  [[nodiscard]] int tcp_port() const noexcept { return bound_tcp_port_; }
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Live stats as the kStatsResponse JSON document.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct Admission {
+    bool admitted = false;
+    bool rejected_overloaded = false;
+    std::int64_t cost_ms = 0;
+    /// Load-shed caps (nullopt = request untouched).
+    std::optional<LoopOptimizer> optimizer_cap;
+    bool force_topo_order = false;
+  };
+
+  [[nodiscard]] bool stop_requested() const noexcept;
+  void serve_connection(int fd);
+  void handle_frame(int fd, const Frame& frame);
+  void handle_compile(int fd, std::string_view payload);
+  [[nodiscard]] Admission admit(std::int64_t deadline_ms);
+  void release(const Admission& admission);
+  void send_frame(int fd, FrameKind kind, std::string_view payload);
+  void send_error(int fd, const Diagnostic& diag);
+  void record_latency(std::int64_t us);
+
+  ServerOptions options_;
+  std::optional<ResultCache> cache_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+
+  mutable std::mutex mu_;        ///< stats + admission backlog
+  ServerStats stats_;
+  std::int64_t backlog_ms_ = 0;
+  std::int64_t queue_depth_ = 0;
+
+  /// Budgeted compiles serialize on this: the ResourceGovernor scope is
+  /// process-global, so two concurrent scopes would cross-restore.
+  /// Budget-free compiles (the common cached-tool traffic) stay fully
+  /// parallel.
+  std::mutex governed_mu_;
+};
+
+}  // namespace sdf::svc

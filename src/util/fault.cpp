@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/counters.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace sdf::fault {
@@ -54,21 +55,13 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::uint64_t hash_site(std::string_view site) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  for (const char ch : site) {
-    h ^= static_cast<unsigned char>(ch);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 /// The check number in [1, n] at which `site` fires inside `context_key`.
 std::int64_t fire_at(const Config& c, std::string_view site,
                      std::uint64_t context_key, std::int64_t window) {
   if (window <= 1) return 1;
-  const std::uint64_t draw =
-      mix(c.seed ^ mix(hash_site(site)) ^ mix(context_key));
+  const std::uint64_t draw = mix(
+      c.seed ^ mix(util::fnv1a64(site, util::kLegacyFaultSeed)) ^
+      mix(context_key));
   return 1 + static_cast<std::int64_t>(draw %
                                        static_cast<std::uint64_t>(window));
 }

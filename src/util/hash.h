@@ -1,0 +1,62 @@
+// FNV-1a hashing, shared by three consumers that must agree on the
+// function (docs/SERVICE.md):
+//
+//   * fault injection (util/fault.cpp) hashes site names into the
+//     deterministic firing draw;
+//   * the service result cache (service/cache.h) derives its
+//     content-addressed key from the canonical graph text chained with
+//     the option fingerprint;
+//   * request framing / load tooling hash payload identities for logs.
+//
+// FNV-1a is a non-cryptographic hash: cheap, endian-free, and stable
+// across platforms — exactly what a persistent cache key and a seeded
+// fault draw need. It is NOT collision-resistant against adversaries;
+// the cache pairs it with a CRC32 over the stored bytes (util/crc32.h)
+// so a collision or corruption can never serve wrong bytes silently.
+//
+// Chaining: pass a previous hash as `seed` to extend it over more data,
+//   fnv1a64(opts, fnv1a64(graph))
+// which is order-sensitive (unlike XOR-combining two independent hashes).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdf::util {
+
+inline constexpr std::uint64_t kFnv64Offset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv64Prime = 1099511628211ULL;
+
+/// The seed the fault injector has always hashed site names with — a
+/// historical truncation of the FNV-1a offset basis (one digit short).
+/// It must stay frozen: CI pins byte-identical fault firing across
+/// seeds, so fault.cpp seeds fnv1a64 with this instead of kFnv64Offset.
+inline constexpr std::uint64_t kLegacyFaultSeed = 1469598103934665603ULL;
+
+inline constexpr std::uint32_t kFnv32Offset = 2166136261u;
+inline constexpr std::uint32_t kFnv32Prime = 16777619u;
+
+/// 64-bit FNV-1a of `data`, continuing from `seed` (default: a fresh
+/// hash). fnv1a64("") == kFnv64Offset.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view data, std::uint64_t seed = kFnv64Offset) noexcept {
+  std::uint64_t h = seed;
+  for (const char ch : data) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+/// 32-bit FNV-1a of `data`, continuing from `seed`.
+[[nodiscard]] constexpr std::uint32_t fnv1a32(
+    std::string_view data, std::uint32_t seed = kFnv32Offset) noexcept {
+  std::uint32_t h = seed;
+  for (const char ch : data) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= kFnv32Prime;
+  }
+  return h;
+}
+
+}  // namespace sdf::util

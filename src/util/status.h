@@ -39,6 +39,7 @@ enum class ErrorCode {
   kInternal,           ///< invariant violation — a bug, not an input error
   kCorruptJournal,     ///< batch journal unrecoverable (bad magic/header)
   kInterrupted,        ///< run stopped by SIGINT/SIGTERM; resumable
+  kOverloaded,         ///< service admission queue full; retry later
 };
 
 /// 1-based source position inside a parsed text; 0 = unknown.
@@ -120,6 +121,8 @@ using CorruptJournalError =
     detail::TypedError<std::runtime_error, ErrorCode::kCorruptJournal>;
 using InterruptedError =
     detail::TypedError<std::runtime_error, ErrorCode::kInterrupted>;
+using OverloadedError =
+    detail::TypedError<std::runtime_error, ErrorCode::kOverloaded>;
 
 /// Value-or-diagnostic return for the pipeline boundary. Interior code
 /// keeps throwing; the boundary catches once and hands callers this.

@@ -23,6 +23,7 @@
 #include "sdf/io.h"
 #include "sdf/repetitions.h"
 #include "util/fault.h"
+#include "util/flags.h"
 #include "util/status.h"
 
 #include "test_util.h"
@@ -312,16 +313,47 @@ TEST(Errors, NamesAndExitCodesAreStable) {
   EXPECT_EQ(error_code_name(ErrorCode::kResourceExhausted),
             "resource-exhausted");
   EXPECT_EQ(error_code_name(ErrorCode::kInternal), "internal");
+  EXPECT_EQ(error_code_name(ErrorCode::kCorruptJournal), "corrupt-journal");
+  EXPECT_EQ(error_code_name(ErrorCode::kInterrupted), "interrupted");
+  EXPECT_EQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
 
   EXPECT_EQ(exit_code_for(ErrorCode::kOk), 0);
   EXPECT_EQ(exit_code_for(ErrorCode::kParse), 11);
   EXPECT_EQ(exit_code_for(ErrorCode::kInternal), 21);
+  EXPECT_EQ(exit_code_for(ErrorCode::kInterrupted), 23);
+  EXPECT_EQ(exit_code_for(ErrorCode::kOverloaded), 24);
 
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kOverloaded); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     EXPECT_EQ(error_code_from_name(error_code_name(code)), code);
   }
   EXPECT_EQ(error_code_from_name("no-such-code"), ErrorCode::kInternal);
+}
+
+TEST(Errors, OverloadedErrorIsTypedAndCatchable) {
+  // The service backpressure error satisfies the same dual-inheritance
+  // contract as every other typed error: a std::runtime_error for
+  // historical catch sites, an SdfError carrying the structured code.
+  try {
+    throw OverloadedError("queue full");
+  } catch (const std::runtime_error& e) {
+    const Diagnostic diag = diagnostic_from_exception(e);
+    EXPECT_EQ(diag.code, ErrorCode::kOverloaded);
+    EXPECT_EQ(diag.message, "queue full");
+    EXPECT_EQ(exit_code_for(diag.code), 24);
+  }
+}
+
+TEST(Errors, StrictFlagParsingRejectsWhatAtoiAccepted) {
+  // The CLI routes --jobs/--deadline-ms/--dp-mem-mb through
+  // util::parse_positive_flag; each rejected value is a usage error
+  // (exit 2) instead of a silently-misread count.
+  EXPECT_FALSE(util::parse_positive_flag("0"));
+  EXPECT_FALSE(util::parse_positive_flag("-3"));
+  EXPECT_FALSE(util::parse_positive_flag("abc"));   // atoi: 0
+  EXPECT_FALSE(util::parse_positive_flag("8q"));    // atoi: 8
+  EXPECT_FALSE(util::parse_positive_flag(""));
+  EXPECT_EQ(util::parse_positive_flag("4"), 4);
 }
 
 TEST(Errors, DiagnosticFromExceptionClassifiesPlainStdTypes) {

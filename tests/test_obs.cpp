@@ -246,5 +246,87 @@ TEST_F(ObsTest, ReportCarriesSpansCountersAndGauges) {
   }
 }
 
+// ------------------------------------------------- string escaping paths
+
+/// escape -> wrap in quotes -> parse must reproduce the input exactly.
+std::string escape_roundtrip(const std::string& in) {
+  const std::string doc = "\"" + obs::json_escape(in) + "\"";
+  return obs::Json::parse(doc).as_string();
+}
+
+TEST(JsonEscape, RoundTripsEveryControlCharacter) {
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    EXPECT_EQ(escape_roundtrip(in), in) << "control char " << c;
+  }
+}
+
+TEST(JsonEscape, RoundTripsQuotesBackslashesAndMixedText) {
+  const std::string cases[] = {
+      "",
+      "plain",
+      "say \"hi\"",
+      "back\\slash",
+      "tab\there\nnewline\rreturn",
+      "bell\x07 vertical\x0b form\x0c",
+      std::string("embedded\0nul", 12),
+      "trailing backslash\\",
+      "\\u0041 looks escaped but is literal text",
+  };
+  for (const std::string& in : cases) {
+    EXPECT_EQ(escape_roundtrip(in), in);
+  }
+}
+
+TEST(JsonEscape, RoundTripsHighBytesUntouched) {
+  // Bytes >= 0x80 (UTF-8 continuation bytes) pass through unescaped.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x86\x92 done";
+  EXPECT_EQ(obs::json_escape(utf8), utf8);
+  EXPECT_EQ(escape_roundtrip(utf8), utf8);
+}
+
+TEST(JsonEscape, ControlCharsSerializeAsLowercaseU) {
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x1f')), "\\u001f");
+  // The named short escapes win over \u for the classic whitespace ones.
+  EXPECT_EQ(obs::json_escape("\b\f\n\r\t\"\\"),
+            "\\b\\f\\n\\r\\t\\\"\\\\");
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(obs::Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(obs::Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(obs::Json::parse("\"\\u2192\"").as_string(), "\xe2\x86\x92");
+  // Uppercase hex digits are accepted on input.
+  EXPECT_EQ(obs::Json::parse("\"\\u001F\"").as_string(),
+            std::string(1, '\x1f'));
+  EXPECT_EQ(obs::Json::parse("\"\\/\"").as_string(), "/");
+}
+
+TEST(JsonParse, RejectsMalformedEscapes) {
+  // Truncated \u sequences (the "bad \u escape" length path).
+  EXPECT_THROW((void)obs::Json::parse("\"\\u12\""), std::invalid_argument);
+  EXPECT_THROW((void)obs::Json::parse("\"\\u\""), std::invalid_argument);
+  // Non-hex digits inside \u (the digit-validation path).
+  EXPECT_THROW((void)obs::Json::parse("\"\\u12g4\""),
+               std::invalid_argument);
+  EXPECT_THROW((void)obs::Json::parse("\"\\uzzzz\""),
+               std::invalid_argument);
+  // Unknown escape character.
+  EXPECT_THROW((void)obs::Json::parse("\"\\q\""), std::invalid_argument);
+  // Unterminated string / escape at end of input.
+  EXPECT_THROW((void)obs::Json::parse("\"abc"), std::invalid_argument);
+  EXPECT_THROW((void)obs::Json::parse("\"abc\\"), std::invalid_argument);
+}
+
+TEST(JsonParse, EscapedKeysRoundTripThroughDump) {
+  obs::Json doc = obs::Json::object();
+  doc["line\nbreak \"key\""] = std::string("value\twith\ttabs");
+  const obs::Json back = obs::Json::parse(doc.dump());
+  EXPECT_EQ(back, doc);
+  EXPECT_EQ(back.find("line\nbreak \"key\"")->as_string(),
+            "value\twith\ttabs");
+}
+
 }  // namespace
 }  // namespace sdf

@@ -1,0 +1,553 @@
+// The compile service (src/service/): wire protocol framing, the
+// persistent content-addressed result cache, and the daemon end-to-end
+// over a real Unix socket — cold/hot byte-identity, admission control,
+// load shedding, corruption recovery, and graceful drain.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/json_report.h"
+#include "sdf/diagnostics.h"
+#include "sdf/io.h"
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/shutdown.h"
+
+namespace sdf::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kTinyGraph =
+    "graph tiny\nactor A\nactor B\nedge A B 2 3\n";
+
+/// A fresh scratch directory with a socket path short enough for
+/// sockaddr_un (so TEST_TMPDIR-style deep paths cannot break binds).
+struct Scratch {
+  std::string dir;
+
+  Scratch() {
+    static int counter = 0;
+    dir = "/tmp/sdfsvc_" + std::to_string(::getpid()) + "_" +
+          std::to_string(counter++);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~Scratch() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  [[nodiscard]] std::string socket_path() const { return dir + "/d.sock"; }
+  [[nodiscard]] std::string cache_dir() const { return dir + "/cache"; }
+};
+
+/// Runs a Server on its own thread; stops and joins on destruction.
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) {
+    util::reset_shutdown();
+    server = std::make_unique<Server>(std::move(options));
+    server->start();
+    runner = std::thread([this] { server->run(); });
+  }
+  ~RunningServer() { stop(); }
+
+  void stop() {
+    if (runner.joinable()) {
+      server->stop();
+      runner.join();
+    }
+  }
+
+  std::unique_ptr<Server> server;
+  std::thread runner;
+};
+
+CompileRequest tiny_request() {
+  CompileRequest req;
+  req.graph_text = std::string(kTinyGraph);
+  return req;
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(Protocol, FrameRoundTrip) {
+  const std::string wire =
+      encode_frame(FrameKind::kCompileRequest, "payload bytes");
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(wire, &frame, &consumed), DecodeStatus::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(frame.kind, FrameKind::kCompileRequest);
+  EXPECT_EQ(frame.payload, "payload bytes");
+}
+
+TEST(Protocol, DecodeIsIncremental) {
+  const std::string wire = encode_frame(FrameKind::kPing, "tok");
+  Frame frame;
+  std::size_t consumed = 0;
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_EQ(decode_frame(wire.substr(0, n), &frame, &consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << n;
+  }
+  EXPECT_EQ(decode_frame(wire, &frame, &consumed), DecodeStatus::kOk);
+}
+
+TEST(Protocol, RejectsBadMagicOnFirstDivergentByte) {
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame("GET / HTTP/1.1", &frame, &consumed),
+            DecodeStatus::kBadMagic);
+  // One wrong byte is enough — no need to buffer a full header.
+  EXPECT_EQ(decode_frame("X", &frame, &consumed), DecodeStatus::kBadMagic);
+}
+
+TEST(Protocol, RejectsBadKindAndBadCrc) {
+  std::string wire = encode_frame(FrameKind::kPong, "abc");
+  Frame frame;
+  std::size_t consumed = 0;
+
+  std::string bad_kind = wire;
+  bad_kind[7] = '\x63';  // kind byte well outside the enum
+  EXPECT_EQ(decode_frame(bad_kind, &frame, &consumed),
+            DecodeStatus::kBadKind);
+
+  std::string bad_crc = wire;
+  bad_crc.back() ^= 0x01;  // flip one payload byte; CRC now disagrees
+  EXPECT_EQ(decode_frame(bad_crc, &frame, &consumed),
+            DecodeStatus::kBadCrc);
+}
+
+TEST(Protocol, RejectsOversizedDeclaredLength) {
+  std::string wire = encode_frame(FrameKind::kPing, "x");
+  // Rewrite the length field to > kMaxPayloadBytes.
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  wire[8] = static_cast<char>(huge & 0xFF);
+  wire[9] = static_cast<char>((huge >> 8) & 0xFF);
+  wire[10] = static_cast<char>((huge >> 16) & 0xFF);
+  wire[11] = static_cast<char>((huge >> 24) & 0xFF);
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(wire, &frame, &consumed), DecodeStatus::kTooLarge);
+}
+
+TEST(Protocol, CompileRequestRoundTrip) {
+  CompileRequest req = tiny_request();
+  req.options.order = OrderHeuristic::kApgan;
+  req.options.optimizer = LoopOptimizer::kChainExact;
+  req.options.allocation_order = FirstFitOrder::kByWidth;
+  req.options.blocking_factor = 3;
+  req.deadline_ms = 250;
+  req.dp_mem_bytes = 1 << 20;
+
+  const Result<CompileRequest> back =
+      parse_compile_request(encode_compile_request(req));
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().graph_text, req.graph_text);
+  EXPECT_EQ(back.value().options.order, OrderHeuristic::kApgan);
+  EXPECT_EQ(back.value().options.optimizer, LoopOptimizer::kChainExact);
+  EXPECT_EQ(back.value().options.allocation_order, FirstFitOrder::kByWidth);
+  EXPECT_EQ(back.value().options.blocking_factor, 3);
+  EXPECT_EQ(back.value().deadline_ms, 250);
+  EXPECT_EQ(back.value().dp_mem_bytes, 1 << 20);
+  EXPECT_EQ(option_fingerprint(back.value()), option_fingerprint(req));
+}
+
+TEST(Protocol, CompileRequestValidation) {
+  EXPECT_FALSE(parse_compile_request("not json").ok());
+  EXPECT_FALSE(parse_compile_request("{\"graph\": \"g\"}").ok())
+      << "missing schema must be rejected";
+  const Result<CompileRequest> bad_opt = parse_compile_request(
+      R"({"schema": "sdfmem.request.v1", "graph": "g",
+          "options": {"optimizer": "warp"}})");
+  ASSERT_FALSE(bad_opt.ok());
+  EXPECT_EQ(bad_opt.error().code, ErrorCode::kBadArgument);
+}
+
+TEST(Protocol, CacheKeySeparatesGraphAndOptions) {
+  const std::string fp_a = "order=rpmc;opt=sdppo";
+  const std::string fp_b = "order=rpmc;opt=dppo";
+  EXPECT_NE(cache_key("g1", fp_a), cache_key("g2", fp_a));
+  EXPECT_NE(cache_key("g1", fp_a), cache_key("g1", fp_b));
+  EXPECT_EQ(cache_key("g1", fp_a), cache_key("g1", fp_a));
+  EXPECT_EQ(key_hex(0x0123456789abcdefULL), "0123456789abcdef");
+  EXPECT_EQ(key_hex(0), "0000000000000000");
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(ResultCache, InsertLookupAndReopen) {
+  Scratch scratch;
+  const std::uint64_t key = cache_key("graph", "opts");
+  {
+    ResultCache cache(scratch.cache_dir());
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.insert(key, "response-bytes");
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "response-bytes");
+    EXPECT_EQ(cache.stats().inserts, 1);
+  }
+  // A fresh process (new ResultCache) replays the index and still hits.
+  ResultCache reopened(scratch.cache_dir());
+  EXPECT_EQ(reopened.size(), 1u);
+  const auto hit = reopened.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "response-bytes");
+}
+
+TEST(ResultCache, InsertIsFirstWriterWins) {
+  Scratch scratch;
+  ResultCache cache(scratch.cache_dir());
+  const std::uint64_t key = 42;
+  cache.insert(key, "first");
+  cache.insert(key, "second");  // ignored: hot responses stay byte-stable
+  EXPECT_EQ(cache.lookup(key).value_or(""), "first");
+  EXPECT_EQ(cache.stats().inserts, 1);
+}
+
+TEST(ResultCache, CorruptObjectIsNeverServed) {
+  Scratch scratch;
+  const std::uint64_t key = cache_key("graph", "opts");
+  ResultCache cache(scratch.cache_dir());
+  cache.insert(key, "precious bytes");
+
+  // Flip one byte in the stored object.
+  const std::string path =
+      scratch.cache_dir() + "/objects/" + key_hex(key) + ".json";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x20;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  EXPECT_FALSE(cache.lookup(key).has_value())
+      << "a flipped byte must read as a miss, not as data";
+  EXPECT_EQ(cache.stats().corrupt, 1);
+  // The entry was dropped; a re-insert repairs the cache.
+  cache.insert(key, "precious bytes");
+  EXPECT_EQ(cache.lookup(key).value_or(""), "precious bytes");
+}
+
+TEST(ResultCache, TornIndexTailIsTruncatedOnReopen) {
+  Scratch scratch;
+  const std::uint64_t key = 7;
+  {
+    ResultCache cache(scratch.cache_dir());
+    cache.insert(key, "kept");
+  }
+  // Simulate a crash mid-append: garbage after the last valid record.
+  {
+    std::ofstream out(scratch.cache_dir() + "/index.journal",
+                      std::ios::binary | std::ios::app);
+    out << "\x13\x37torn";
+  }
+  ResultCache reopened(scratch.cache_dir());
+  EXPECT_EQ(reopened.lookup(key).value_or(""), "kept");
+  // And the recovered journal accepts new appends.
+  reopened.insert(9, "after-recovery");
+  EXPECT_EQ(reopened.lookup(9).value_or(""), "after-recovery");
+}
+
+TEST(ResultCache, RejectsForeignJournal) {
+  Scratch scratch;
+  fs::create_directories(scratch.cache_dir());
+  {
+    std::ofstream out(scratch.cache_dir() + "/index.journal",
+                      std::ios::binary);
+    out << "not a journal at all";
+  }
+  EXPECT_THROW(ResultCache cache(scratch.cache_dir()), std::exception);
+}
+
+// ------------------------------------------------------------ end to end
+
+TEST(Service, ColdThenHotAreByteIdentical) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  opts.jobs = 2;
+  RunningServer running(opts);
+
+  Client client({scratch.socket_path(), 0});
+  const Result<std::string> cold = client.compile(tiny_request());
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  const Result<std::string> hot = client.compile(tiny_request());
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(cold.value(), hot.value())
+      << "a cache hit must serve the exact bytes of the cold response";
+
+  const obs::Json doc = obs::Json::parse(cold.value());
+  ASSERT_NE(doc.find("results"), nullptr);
+  const obs::Json& results = *doc.find("results");
+  EXPECT_NE(results.find("schedule"), nullptr);
+  EXPECT_GT(results.find("shared_size")->as_int(), 0);
+  EXPECT_GT(results.find("nonshared_bufmem")->as_int(), 0);
+
+  const ServerStats stats = running.server->stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+}
+
+TEST(Service, HitSurvivesServerRestart) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+
+  std::string cold;
+  {
+    RunningServer running(opts);
+    Client client({scratch.socket_path(), 0});
+    const Result<std::string> r = client.compile(tiny_request());
+    ASSERT_TRUE(r.ok());
+    cold = r.value();
+  }
+  RunningServer restarted(opts);
+  Client client({scratch.socket_path(), 0});
+  const Result<std::string> hot = client.compile(tiny_request());
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot.value(), cold);
+  EXPECT_EQ(restarted.server->stats().cache_hits, 1);
+}
+
+TEST(Service, CorruptCacheEntryIsRecompiled) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  const Result<std::string> cold = client.compile(tiny_request());
+  ASSERT_TRUE(cold.ok());
+
+  // Flip a byte in the single stored object.
+  std::string object;
+  for (const auto& entry :
+       fs::directory_iterator(scratch.cache_dir() + "/objects")) {
+    object = entry.path().string();
+  }
+  ASSERT_FALSE(object.empty());
+  std::string bytes;
+  {
+    std::ifstream in(object, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(object, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  const Result<std::string> again = client.compile(tiny_request());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), cold.value())
+      << "the recompiled response must match the original, byte for byte";
+}
+
+TEST(Service, MalformedGraphGetsStructuredParseError) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  CompileRequest req;
+  req.graph_text = "graph broken\nactor A\nedge A Missing 1 1\n";
+  const Result<std::string> r = client.compile(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kParse);
+  EXPECT_FALSE(r.error().message.empty());
+}
+
+TEST(Service, PingAndStats) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+  EXPECT_TRUE(client.ping("are-you-there"));
+  const obs::Json stats = obs::Json::parse(client.stats());
+  ASSERT_NE(stats.find("schema"), nullptr);
+  EXPECT_EQ(stats.find("schema")->as_string(), "sdfmem.stats.v1");
+  ASSERT_NE(stats.find("requests"), nullptr);
+}
+
+TEST(Service, TcpListenerWorksOnEphemeralPort) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.tcp_port = -1;  // ephemeral
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+  ASSERT_GT(running.server->tcp_port(), 0);
+  Client client({"", running.server->tcp_port()});
+  const Result<std::string> r = client.compile(tiny_request());
+  ASSERT_TRUE(r.ok()) << r.error().message;
+}
+
+TEST(Service, ZeroQueueShedsMissesButServesHits) {
+  Scratch scratch;
+  // Pre-warm the cache exactly like the server would key it.
+  const CompileRequest req = tiny_request();
+  const std::string canonical =
+      write_graph_text(parse_graph_text(req.graph_text));
+  const std::uint64_t key =
+      cache_key(canonical, option_fingerprint(req));
+  {
+    ResultCache warm(scratch.cache_dir());
+    warm.insert(key, "prewarmed-response");
+  }
+
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  opts.queue_capacity = 0;  // read-only replica: shed every miss
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  // The hit is served without admission (lookup precedes admit).
+  const Result<std::string> hit = client.compile(req);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), "prewarmed-response");
+
+  // A miss cannot be admitted and comes back typed `overloaded`.
+  CompileRequest other = tiny_request();
+  other.options.optimizer = LoopOptimizer::kDppo;
+  const Result<std::string> miss = client.compile(other);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.error().code, ErrorCode::kOverloaded);
+  EXPECT_EQ(exit_code_for(miss.error().code), 24);
+  EXPECT_EQ(running.server->stats().overloaded, 1);
+}
+
+TEST(Service, HighLoadShedsToFlatTierAndSkipsCache) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  opts.queue_capacity = 4;      // capacity: 4000 ms of backlog
+  opts.default_cost_ms = 1000;
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  CompileRequest req = tiny_request();
+  req.options.optimizer = LoopOptimizer::kChainExact;
+  req.deadline_ms = 3500;  // 3500/4000 >= 3/4: flat tier
+
+  const Result<std::string> r = client.compile(req);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  const obs::Json doc = obs::Json::parse(r.value());
+  const obs::Json& results = *doc.find("results");
+  EXPECT_EQ(results.find("optimizer")->as_string(), "flat");
+  EXPECT_EQ(results.find("requested_optimizer")->as_string(), "chainx");
+  ASSERT_NE(results.find("load_shed"), nullptr);
+
+  const ServerStats stats = running.server->stats();
+  EXPECT_EQ(stats.shed_degraded, 1);
+  // Shed responses are never cached: the same request compiles again.
+  const Result<std::string> again = client.compile(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(running.server->stats().cache_misses, 2);
+}
+
+TEST(Service, BadFramingDropsConnectionWithError) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  RunningServer running(opts);
+
+  // Raw socket: speak HTTP at the daemon and expect a framed error
+  // followed by a close.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, scratch.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr), 0);
+  const std::string junk = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(fd, junk.data(), junk.size(), 0),
+            static_cast<ssize_t>(junk.size()));
+
+  std::string reply;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // server closes after the error frame
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(reply, &frame, &consumed), DecodeStatus::kOk);
+  EXPECT_EQ(frame.kind, FrameKind::kErrorResponse);
+  const Diagnostic diag = parse_error_response(frame.payload);
+  EXPECT_EQ(diag.code, ErrorCode::kBadArgument);
+  EXPECT_NE(diag.message.find("bad-magic"), std::string::npos);
+  EXPECT_EQ(running.server->stats().bad_frames, 1);
+}
+
+TEST(Service, DrainRemovesSocketAndRefusesNewConnections) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  auto running = std::make_unique<RunningServer>(opts);
+  {
+    Client client({scratch.socket_path(), 0});
+    ASSERT_TRUE(client.compile(tiny_request()).ok());
+  }
+  running->stop();
+  EXPECT_FALSE(fs::exists(scratch.socket_path()))
+      << "a drained daemon must unlink its socket";
+  EXPECT_THROW(Client client({scratch.socket_path(), 0}), IoError);
+
+  // The cache index survived the drain: a restart hits immediately.
+  RunningServer restarted(opts);
+  Client client({scratch.socket_path(), 0});
+  ASSERT_TRUE(client.compile(tiny_request()).ok());
+  EXPECT_EQ(restarted.server->stats().cache_hits, 1);
+}
+
+TEST(Service, ShutdownFlagDrainsRunLoop) {
+  // The process-wide shutdown flag (SIGINT/SIGTERM path) must stop the
+  // accept loop just like stop().
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  util::reset_shutdown();
+  Server server(opts);
+  server.start();
+  std::thread runner([&] { server.run(); });
+  util::request_shutdown(15);
+  runner.join();
+  util::reset_shutdown();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sdf::svc
