@@ -5,12 +5,22 @@
 // clients, and reports p50/p95/p99 request latency plus the hit-rate
 // trajectory per round.
 //
-//   SDFMEM_SERVICE_CLIENTS  concurrent client connections (default 4)
-//   SDFMEM_SERVICE_ROUNDS   hot rounds over the suite (default 3)
-//   SDFMEM_BENCH_JSON       write the trajectory as telemetry JSON
+// A second phase benchmarks the multi-tenant QoS contract
+// (docs/TENANCY.md): a `light` tenant is measured solo, then again while
+// a throttled `hog` tenant floods the same daemon from several
+// connections. The headline is the fairness ratio — light's adversarial
+// p95 over its solo p95 — which the QoS contract promises stays <= 2x.
+//
+//   SDFMEM_SERVICE_CLIENTS        concurrent client connections (default 4)
+//   SDFMEM_SERVICE_ROUNDS         hot rounds over the suite (default 3)
+//   SDFMEM_SERVICE_LIGHT_REQS     light-tenant requests per phase (default 24)
+//   SDFMEM_SERVICE_HOG_CLIENTS    hog connections in the mix (default 4)
+//   SDFMEM_SERVICE_FAIRNESS_GATE  nonzero: exit 1 when the ratio exceeds 2
+//   SDFMEM_BENCH_JSON             write the trajectory as telemetry JSON
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -22,6 +32,7 @@
 #include "bench_util.h"
 #include "sdf/io.h"
 #include "service/client.h"
+#include "service/qos.h"
 #include "service/server.h"
 
 namespace sdf::bench {
@@ -92,6 +103,197 @@ std::vector<std::int64_t> run_round(const std::string& socket_path,
   }
   for (std::thread& t : workers) t.join();
   return latencies;
+}
+
+// ---------------------------------------------------------------- fairness
+
+/// One measured light-tenant request: the whole Table 1 suite compiled
+/// fresh (the server runs without a cache directory, so every request
+/// pays the full compile).
+std::vector<std::int64_t> run_light(const std::string& socket_path,
+                                    const std::vector<std::string>& requests,
+                                    int total) {
+  svc::Client client({socket_path, 0});
+  std::vector<std::int64_t> latencies;
+  latencies.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    svc::CompileRequest req;
+    req.graph_text = requests[static_cast<std::size_t>(i) % requests.size()];
+    req.tenant = "light";
+    req.options.order = OrderHeuristic::kRpmcMultistart;
+    req.options.optimizer = LoopOptimizer::kChainExact;
+    req.options.blocking_factor = 16;
+    const auto t0 = std::chrono::steady_clock::now();
+    const Result<std::string> r = client.compile(req);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      throw IoError("service_load: light request failed: " +
+                    r.error().message);
+    }
+    latencies.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+  }
+  return latencies;
+}
+
+/// Benchmarks the QoS contract on a fresh cache-less daemon: light solo,
+/// then light vs a flooding rate-limited hog. Returns nonzero when the
+/// fairness gate is armed and violated.
+int fairness_phase(JsonTrajectory& trajectory) {
+  const int light_reqs = env_int("SDFMEM_SERVICE_LIGHT_REQS", 24);
+  const int hog_clients = env_int("SDFMEM_SERVICE_HOG_CLIENTS", 4);
+  const bool gate = env_int("SDFMEM_SERVICE_FAIRNESS_GATE", 0) != 0;
+
+  const std::string dir =
+      "/tmp/sdfmem_service_fair_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string socket_path = dir + "/d.sock";
+
+  std::vector<std::string> requests;
+  for (const Graph& g : table1_systems()) {
+    requests.push_back(write_graph_text(g));
+  }
+
+  // light carries 8x the hog's weight; the hog is additionally capped at
+  // 100 cost-ms of sustained compile throughput per second. With the
+  // default request cost at 50 ms that is two hog compiles per second —
+  // everything beyond queues briefly, then sheds once the hog's backlog
+  // share fills.
+  const Result<svc::qos::TenantRegistry> registry =
+      svc::qos::TenantRegistry::parse(
+          R"({"schema": "sdfmem.tenants.v1",
+              "tenants": {"light": {"weight": 8},
+                          "hog": {"weight": 1, "rate_ms_per_sec": 100,
+                                  "burst_ms": 100}}})");
+  if (!registry.ok()) {
+    throw IoError("service_load: tenants config: " +
+                  registry.error().message);
+  }
+
+  svc::ServerOptions opts;
+  opts.socket_path = socket_path;
+  // Few slots so contention is real, but enough that one admitted hog
+  // compile cannot serialize the whole daemon behind it.
+  opts.jobs = 4;
+  opts.queue_capacity = 32;
+  opts.default_cost_ms = 50;
+  opts.tenants = registry.value();
+  svc::Server server(opts);
+  server.start();
+  std::thread runner([&server] { server.run(); });
+
+  // Phase A: the light tenant alone.
+  std::vector<std::int64_t> solo =
+      run_light(socket_path, requests, light_reqs);
+
+  // Phase B: the same light workload while `hog` floods from
+  // `hog_clients` connections (roughly a 10:1 offered-load mix).
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> hog_ok{0};
+  std::atomic<std::int64_t> hog_rejected{0};
+  std::vector<std::thread> hogs;
+  hogs.reserve(static_cast<std::size_t>(hog_clients));
+  for (int c = 0; c < hog_clients; ++c) {
+    hogs.emplace_back([&, c] {
+      svc::Client client({socket_path, 0});
+      std::size_t i = static_cast<std::size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        svc::CompileRequest req;
+        req.graph_text = requests[i++ % requests.size()];
+        req.tenant = "hog";
+        req.options.order = OrderHeuristic::kRpmcMultistart;
+        req.options.optimizer = LoopOptimizer::kChainExact;
+        req.options.blocking_factor = 16;
+        const Result<std::string> r = client.compile(req);
+        if (r.ok()) {
+          hog_ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.error().code == ErrorCode::kOverloaded) {
+          // Expected: the hog sheds once its backlog share fills. Back
+          // off like a real client would (ERRORS.md tells exit-24
+          // callers to retry later) instead of hot-spinning rejects.
+          hog_rejected.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        } else {
+          throw IoError("service_load: hog request failed: " +
+                        r.error().message);
+        }
+      }
+    });
+  }
+  // Let the hog drain its initial token-bucket burst before measuring:
+  // the contract covers steady-state fairness, not the first admitted
+  // burst the bucket deliberately allows.
+  std::this_thread::sleep_for(std::chrono::milliseconds(750));
+  std::vector<std::int64_t> adversarial =
+      run_light(socket_path, requests, light_reqs);
+  stop.store(true);
+  for (std::thread& t : hogs) t.join();
+
+  const svc::ServerStats stats = server.stats();
+  server.stop();
+  runner.join();
+  std::filesystem::remove_all(dir);
+
+  std::sort(solo.begin(), solo.end());
+  std::sort(adversarial.begin(), adversarial.end());
+  const std::int64_t solo_p50 = percentile(solo, 50);
+  const std::int64_t solo_p95 = percentile(solo, 95);
+  const std::int64_t solo_p99 = percentile(solo, 99);
+  const std::int64_t adv_p50 = percentile(adversarial, 50);
+  const std::int64_t adv_p95 = percentile(adversarial, 95);
+  const std::int64_t adv_p99 = percentile(adversarial, 99);
+  const double ratio = solo_p95 > 0 ? static_cast<double>(adv_p95) /
+                                          static_cast<double>(solo_p95)
+                                    : 0.0;
+
+  std::printf("\nfairness: light (weight 8) vs hog (weight 1, "
+              "100 cost-ms/s) on %d hog connection(s)\n",
+              hog_clients);
+  std::printf("%-12s %8s %10s %10s %10s\n", "tenant-phase", "reqs",
+              "p50_us", "p95_us", "p99_us");
+  std::printf("%-12s %8zu %10lld %10lld %10lld\n", "light-solo",
+              solo.size(), static_cast<long long>(solo_p50),
+              static_cast<long long>(solo_p95),
+              static_cast<long long>(solo_p99));
+  std::printf("%-12s %8zu %10lld %10lld %10lld\n", "light-adv",
+              adversarial.size(), static_cast<long long>(adv_p50),
+              static_cast<long long>(adv_p95),
+              static_cast<long long>(adv_p99));
+  std::printf("hog: %lld served, %lld shed overloaded, "
+              "throttle wait %lld us total\n",
+              static_cast<long long>(hog_ok.load()),
+              static_cast<long long>(hog_rejected.load()),
+              static_cast<long long>(
+                  stats.tenants.count("hog")
+                      ? stats.tenants.at("hog").throttle_wait_us
+                      : 0));
+  std::printf("fairness p95 ratio (light adv/solo): %.2fx "
+              "(contract: <= 2x)\n", ratio);
+
+  if (trajectory.active()) {
+    obs::Json fair = obs::Json::object();
+    fair["light_solo_p50_us"] = solo_p50;
+    fair["light_solo_p95_us"] = solo_p95;
+    fair["light_solo_p99_us"] = solo_p99;
+    fair["light_adv_p50_us"] = adv_p50;
+    fair["light_adv_p95_us"] = adv_p95;
+    fair["light_adv_p99_us"] = adv_p99;
+    fair["hog_ok"] = hog_ok.load();
+    fair["hog_overloaded"] = hog_rejected.load();
+    fair["hog_clients"] = static_cast<std::int64_t>(hog_clients);
+    fair["p95_ratio"] = ratio;
+    trajectory.results()["fairness"] = std::move(fair);
+  }
+
+  if (gate && ratio > 2.0) {
+    std::fprintf(stderr,
+                 "service_load: FAIL fairness gate: light p95 ratio "
+                 "%.2fx > 2x\n", ratio);
+    return 1;
+  }
+  return 0;
 }
 
 int body() {
@@ -202,7 +404,7 @@ int body() {
   }
 
   std::filesystem::remove_all(dir);
-  return 0;
+  return fairness_phase(trajectory);
 }
 
 }  // namespace

@@ -30,10 +30,15 @@
 // TCP), with a persistent content-addressed result cache under
 // `--cache <dir>`, an admission bound of `--queue N` outstanding
 // default-cost requests (`--cost-ms N` each), and `--deadline-ms` /
-// `--dp-mem-mb` as a server-side ceiling. SIGINT/SIGTERM drain
+// `--dp-mem-mb` as a server-side ceiling. `--tenants-config file.json`
+// loads a sdfmem.tenants.v1 registry (docs/TENANCY.md) and splits the
+// admission capacity between tenants under weighted-fair scheduling;
+// without it only the `public` tenant exists. SIGINT/SIGTERM drain
 // gracefully and exit 23. `client` sends one graph file (raw bytes — a
 // malformed graph is diagnosed by the server) and prints the response
-// JSON; `--stats` asks for the daemon's live stats document instead.
+// JSON; `--tenant name` tags the request for QoS accounting (unset
+// lands in `public`), `--stats` asks for the daemon's live stats
+// document instead.
 //
 // `--jobs N` sets the worker-thread count for the parallel paths (design-
 // space exploration in `explore`, the two pipeline sides in `report`, the
@@ -102,8 +107,9 @@ void usage() {
       "       sdfmem_cli serve [--socket path] [--port N] [--cache dir]\n"
       "                  [--queue N] [--cost-ms N] [--jobs N]\n"
       "                  [--deadline-ms N] [--dp-mem-mb N]\n"
+      "                  [--tenants-config file.json]\n"
       "       sdfmem_cli client [graph.sdf] (--socket path | --port N)\n"
-      "                  [--stats] [--json]\n");
+      "                  [--tenant name] [--stats] [--json]\n");
 }
 
 /// Prints the collected spans (indented by depth) and all counters/gauges.
@@ -253,6 +259,8 @@ int main(int argc, char** argv) {
   int queue_capacity = 16;
   std::int64_t cost_ms = 1000;
   bool stats_request = false;
+  std::string tenant;
+  std::string tenants_config_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
@@ -368,6 +376,26 @@ int main(int argc, char** argv) {
       const auto v = parse_positive("--cost-ms", argv[++i]);
       if (!v) return kUsageExit;
       cost_ms = *v;
+    } else if (arg == "--tenant") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      tenant = argv[++i];
+      if (!util::valid_tenant_name(tenant)) {
+        std::fprintf(stderr,
+                     "error: --tenant expects 1-64 chars of [a-z0-9_-], "
+                     "got %s\n",
+                     tenant.c_str());
+        usage();
+        return kUsageExit;
+      }
+    } else if (arg == "--tenants-config") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      tenants_config_path = argv[++i];
     } else if (arg == "--stats") {
       stats_request = true;
     } else if (arg == "--json") {
@@ -418,6 +446,15 @@ int main(int argc, char** argv) {
       sopts.queue_capacity = queue_capacity;
       sopts.default_cost_ms = cost_ms;
       sopts.budget = budget;
+      if (!tenants_config_path.empty()) {
+        const Result<svc::qos::TenantRegistry> registry =
+            svc::qos::TenantRegistry::parse(
+                read_file_bytes(tenants_config_path));
+        if (!registry.ok()) {
+          return report_error(registry.error(), json_errors);
+        }
+        sopts.tenants = registry.value();
+      }
       svc::Server server(sopts);
       server.start();
       // The readiness line goes to stderr so scripts can wait on it
@@ -459,6 +496,7 @@ int main(int argc, char** argv) {
                            : write_graph_text(satellite_receiver());
       req.deadline_ms = budget.deadline_ms;
       req.dp_mem_bytes = budget.dp_mem_bytes;
+      req.tenant = tenant;  // empty keeps the wire payload at schema v1
       const Result<std::string> response = client.compile(req);
       if (!response.ok()) {
         return report_error(response.error(), json_errors);

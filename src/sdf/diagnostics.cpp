@@ -6,7 +6,7 @@
 namespace sdf {
 namespace {
 
-constexpr std::array<std::pair<ErrorCode, std::string_view>, 15> kNames{{
+constexpr std::array<std::pair<ErrorCode, std::string_view>, 16> kNames{{
     {ErrorCode::kOk, "ok"},
     {ErrorCode::kParse, "parse"},
     {ErrorCode::kIo, "io"},
@@ -22,6 +22,7 @@ constexpr std::array<std::pair<ErrorCode, std::string_view>, 15> kNames{{
     {ErrorCode::kCorruptJournal, "corrupt-journal"},
     {ErrorCode::kInterrupted, "interrupted"},
     {ErrorCode::kOverloaded, "overloaded"},
+    {ErrorCode::kUnknownTenant, "unknown-tenant"},
 }};
 
 }  // namespace
@@ -42,7 +43,7 @@ ErrorCode error_code_from_name(std::string_view name) noexcept {
 
 int exit_code_for(ErrorCode code) noexcept {
   if (code == ErrorCode::kOk) return 0;
-  return 10 + static_cast<int>(code);  // kParse=11 ... kOverloaded=24
+  return 10 + static_cast<int>(code);  // kParse=11 ... kUnknownTenant=25
 }
 
 Diagnostic diagnostic_from_exception(const std::exception& e) {

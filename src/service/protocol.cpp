@@ -4,6 +4,7 @@
 
 #include "obs/json_report.h"
 #include "util/crc32.h"
+#include "util/flags.h"
 #include "util/hash.h"
 
 namespace sdf::svc {
@@ -133,8 +134,13 @@ std::optional<FirstFitOrder> alloc_order_from_name(
 
 std::string encode_compile_request(const CompileRequest& req) {
   obs::Json doc = obs::Json::object();
-  doc["schema"] = "sdfmem.request.v1";
+  // Version negotiation: a tenant-less request encodes as v1, byte-
+  // identical to what pre-tenancy clients send, so it works against any
+  // server generation. Setting a tenant upgrades the schema to v2.
+  doc["schema"] = req.tenant.empty() ? "sdfmem.request.v1"
+                                     : "sdfmem.request.v2";
   doc["graph"] = req.graph_text;
+  if (!req.tenant.empty()) doc["tenant"] = req.tenant;
   obs::Json opts = obs::Json::object();
   opts["order"] = std::string(order_name(req.options.order));
   opts["optimizer"] = std::string(optimizer_name(req.options.optimizer));
@@ -154,7 +160,8 @@ Result<CompileRequest> parse_compile_request(std::string_view payload) {
     return bad_request(std::string("compile request: ") + e.what());
   }
   const obs::Json* schema = doc.find("schema");
-  if (schema == nullptr || schema->as_string() != "sdfmem.request.v1") {
+  if (schema == nullptr || (schema->as_string() != "sdfmem.request.v1" &&
+                            schema->as_string() != "sdfmem.request.v2")) {
     return bad_request("compile request: missing or unknown schema");
   }
   const obs::Json* graph = doc.find("graph");
@@ -163,6 +170,14 @@ Result<CompileRequest> parse_compile_request(std::string_view payload) {
   }
   CompileRequest req;
   req.graph_text = graph->as_string();
+  if (const obs::Json* tenant = doc.find("tenant")) {
+    if (tenant->type() != obs::Json::Type::kString ||
+        !util::valid_tenant_name(tenant->as_string())) {
+      return bad_request(
+          "compile request: tenant must be 1-64 chars of [a-z0-9_-]");
+    }
+    req.tenant = tenant->as_string();
+  }
   if (const obs::Json* opts = doc.find("options")) {
     if (const obs::Json* v = opts->find("order")) {
       const auto order = order_from_name(v->as_string());
@@ -213,6 +228,9 @@ Result<CompileRequest> parse_compile_request(std::string_view payload) {
   return req;
 }
 
+// The tenant id is excluded on purpose: the cache is shared across
+// tenants, and including it would both fork the cache per tenant and
+// break the hot==cold byte-determinism contract.
 std::string option_fingerprint(const CompileRequest& req) {
   std::string fp = "order=";
   fp += order_name(req.options.order);

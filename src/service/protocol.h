@@ -15,8 +15,15 @@
 // byte construction, so the encoding is identical on any host.
 //
 // Payloads are JSON by convention:
-//   * kCompileRequest   — {"schema": "sdfmem.request.v1", "graph": <.sdf
-//                         text>, "options": {...}} (see CompileRequest)
+//   * kCompileRequest   — {"schema": "sdfmem.request.v1" | ".v2",
+//                         "graph": <.sdf text>, "options": {...},
+//                         "tenant": <id, v2 only>} (see CompileRequest).
+//                         Version negotiation is per-request: a client
+//                         that sets no tenant emits v1 (byte-identical
+//                         to older clients, accepted by older servers);
+//                         setting a tenant upgrades the payload to v2.
+//                         Servers accept both; a v1 request lands in the
+//                         `public` tenant (docs/TENANCY.md).
 //   * kCompileResponse  — the deterministic compile-result document
 //                         ("sdfmem.telemetry.v1"); byte-identical whether
 //                         served cold or from the result cache
@@ -90,6 +97,12 @@ struct CompileRequest {
   CompileOptions options;
   std::int64_t deadline_ms = 0;   ///< 0 = server default / unlimited
   std::int64_t dp_mem_bytes = 0;  ///< 0 = server default / unlimited
+  /// Tenant id for QoS accounting (docs/TENANCY.md); empty means the
+  /// `public` tenant and keeps the encoded payload at schema v1.
+  /// Deliberately NOT part of option_fingerprint(): the result cache is
+  /// content-addressed and shared, so every tenant sees byte-identical
+  /// responses for the same graph + options.
+  std::string tenant;
 };
 
 [[nodiscard]] std::string encode_compile_request(const CompileRequest& req);

@@ -82,8 +82,14 @@ std::int64_t LatencyHistogram::percentile_us(double p) const noexcept {
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.default_cost_ms <= 0) options_.default_cost_ms = 1;
   if (!options_.cache_dir.empty()) cache_.emplace(options_.cache_dir);
-  pool_ = std::make_unique<util::ThreadPool>(
-      util::ThreadPool::resolve_jobs(options_.jobs));
+  const int workers = util::ThreadPool::resolve_jobs(options_.jobs);
+  pool_ = std::make_unique<util::ThreadPool>(workers);
+  qos::AdmissionController::Options aopts;
+  aopts.slots = workers > 0 ? workers : 1;
+  aopts.capacity_ms = static_cast<std::int64_t>(options_.queue_capacity) *
+                      options_.default_cost_ms;
+  admission_ = std::make_unique<qos::AdmissionController>(options_.tenants,
+                                                          aopts);
 }
 
 Server::~Server() {
@@ -190,7 +196,9 @@ void Server::run() {
     }
   }
   // Drain: no new connections; every connection thread finishes the
-  // requests it already received and exits.
+  // requests it already received and exits. Rate limits are lifted so a
+  // throttled tenant's queued work cannot wedge the shutdown.
+  admission_->drain();
   close_fd(unix_fd_);
   close_fd(tcp_fd_);
   if (!options_.socket_path.empty()) {
@@ -274,53 +282,23 @@ void Server::handle_frame(int fd, const Frame& frame) {
   }
 }
 
-Server::Admission Server::admit(std::int64_t deadline_ms) {
-  Admission adm;
-  adm.cost_ms =
-      deadline_ms > 0 ? deadline_ms : options_.default_cost_ms;
-  const std::int64_t capacity_ms =
-      static_cast<std::int64_t>(options_.queue_capacity) *
-      options_.default_cost_ms;
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (backlog_ms_ + adm.cost_ms > capacity_ms) {
-    adm.rejected_overloaded = true;
-    ++stats_.overloaded;
-    obs::count("service.overloaded");
-    return adm;
+void Server::note_queue_depth() {
+  const std::int64_t depth = admission_->total_depth();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
   }
-  const std::int64_t after = backlog_ms_ + adm.cost_ms;
-  // Load-shed tiers reuse the compile degradation ladder: past 1/2 of
-  // capacity cap the optimizer at DPPO, past 3/4 drop to the flat
-  // schedule over a plain topological order.
-  if (capacity_ms > 0) {
-    if (after * 4 >= capacity_ms * 3) {
-      adm.optimizer_cap = LoopOptimizer::kFlat;
-      adm.force_topo_order = true;
-    } else if (after * 2 >= capacity_ms) {
-      adm.optimizer_cap = LoopOptimizer::kDppo;
-    }
-  }
-  backlog_ms_ += adm.cost_ms;
-  ++queue_depth_;
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
-  obs::gauge("service.queue_depth", queue_depth_);
-  adm.admitted = true;
-  return adm;
-}
-
-void Server::release(const Admission& admission) {
-  if (!admission.admitted) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  backlog_ms_ -= admission.cost_ms;
-  --queue_depth_;
-  obs::gauge("service.queue_depth", queue_depth_);
+  obs::gauge("service.queue_depth", depth);
 }
 
 void Server::handle_compile(int fd, std::string_view payload) {
   const auto started = std::chrono::steady_clock::now();
+  // Latency is attributed per tenant once the request names one; until
+  // then (frame/JSON errors) it lands on `public`.
+  std::string tenant{qos::kPublicTenant};
   const auto finish = [&] {
-    record_latency(std::chrono::duration_cast<std::chrono::microseconds>(
+    record_latency(tenant,
+                   std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - started)
                        .count());
   };
@@ -337,6 +315,32 @@ void Server::handle_compile(int fd, std::string_view payload) {
     return;
   }
   const CompileRequest& req = parsed.value();
+
+  // Tenant resolution comes before any work — including cache reads —
+  // so an unregistered tenant cannot consume anything but the lookup.
+  if (!req.tenant.empty()) tenant = req.tenant;
+  const qos::TenantSettings* tenant_settings =
+      admission_->registry().find(tenant);
+  if (tenant_settings == nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.unknown_tenant;
+    }
+    obs::count("service.tenant.unknown");
+    Diagnostic diag;
+    diag.code = ErrorCode::kUnknownTenant;
+    diag.message = "unknown tenant '" + tenant +
+                   "': not in this server's registry "
+                   "(--tenants-config, docs/TENANCY.md)";
+    send_error(fd, diag);
+    finish();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.tenants[tenant].requests;
+  }
+  obs::count("service.tenant." + tenant + ".requests");
 
   Graph g;
   try {
@@ -355,49 +359,88 @@ void Server::handle_compile(int fd, std::string_view payload) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.cache_hits;
+        ++stats_.tenants[tenant].cache_hits;
         ++stats_.responses_ok;
       }
+      obs::count("service.tenant." + tenant + ".cache_hits");
       send_frame(fd, FrameKind::kCompileResponse, *hit);
       finish();
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.cache_misses;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.cache_misses;
+      ++stats_.tenants[tenant].cache_misses;
+    }
+    obs::count("service.tenant." + tenant + ".cache_misses");
   }
 
-  const Admission admission = admit(req.deadline_ms);
-  if (admission.rejected_overloaded) {
+  const std::int64_t cost_ms =
+      req.deadline_ms > 0 ? req.deadline_ms : options_.default_cost_ms;
+  const qos::AdmissionController::Ticket ticket =
+      admission_->acquire(tenant, cost_ms);
+  if (ticket.status !=
+      qos::AdmissionController::Ticket::Status::kGranted) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.overloaded;
+      ++stats_.tenants[tenant].overloaded;
+    }
+    obs::count("service.overloaded");
+    obs::count("service.tenant." + tenant + ".overloaded");
     Diagnostic diag;
     diag.code = ErrorCode::kOverloaded;
     diag.message =
-        "server overloaded: admission backlog exceeds capacity "
-        "(queue " +
+        "tenant '" + tenant + "' overloaded: backlog would exceed its " +
+        std::to_string(ticket.share_ms) + " ms share of capacity (queue " +
         std::to_string(options_.queue_capacity) + " x " +
         std::to_string(options_.default_cost_ms) + " ms); retry later";
     send_error(fd, diag);
     finish();
     return;
   }
+  note_queue_depth();
+  if (ticket.queue_wait_us > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.tenants[tenant].throttle_wait_us += ticket.queue_wait_us;
+  }
 
-  // Apply the load-shed tier, if any, without touching the request's own
-  // option fingerprint — shed responses are served but never cached.
+  // Apply the tenant's load-shed tier, if any, without touching the
+  // request's own option fingerprint — shed responses are served but
+  // never cached.
   CompileOptions effective = req.options;
   bool shedded = false;
-  if (admission.optimizer_cap.has_value() &&
+  std::optional<LoopOptimizer> optimizer_cap;
+  bool force_topo_order = false;
+  switch (ticket.tier) {
+    case qos::AdmissionController::PressureTier::kNormal: break;
+    case qos::AdmissionController::PressureTier::kCapped:
+      optimizer_cap = LoopOptimizer::kDppo;
+      break;
+    case qos::AdmissionController::PressureTier::kDegraded:
+      optimizer_cap = LoopOptimizer::kFlat;
+      force_topo_order = true;
+      break;
+  }
+  if (optimizer_cap.has_value() &&
       optimizer_rank(effective.optimizer) >
-          optimizer_rank(*admission.optimizer_cap)) {
-    effective.optimizer = *admission.optimizer_cap;
+          optimizer_rank(*optimizer_cap)) {
+    effective.optimizer = *optimizer_cap;
     shedded = true;
   }
-  if (admission.force_topo_order &&
+  if (force_topo_order &&
       effective.order != OrderHeuristic::kTopological) {
     effective.order = OrderHeuristic::kTopological;
     shedded = true;
   }
   if (shedded) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.shed_degraded;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed_degraded;
+      ++stats_.tenants[tenant].shed_degraded;
+    }
     obs::count("service.shed_degraded");
+    obs::count("service.tenant." + tenant + ".shed_degraded");
   }
 
   // Merge the request budget under the server ceiling: the tighter of
@@ -438,7 +481,8 @@ void Server::handle_compile(int fd, std::string_view payload) {
     });
     done.get_future().wait();
   }
-  release(admission);
+  admission_->release(ticket);
+  note_queue_depth();
 
   if (!outcome->ok()) {
     send_error(fd, outcome->error());
@@ -486,7 +530,35 @@ void Server::handle_compile(int fd, std::string_view payload) {
   const bool cacheable = cache_.has_value() && !shedded &&
                          res.degradation_path().empty() &&
                          !res.order_degraded;
-  if (cacheable) cache_->insert(key, response);
+  if (cacheable) {
+    // Cache-bytes quota (docs/TENANCY.md): a tenant over its insert
+    // quota stops adding entries but keeps reading — the cache is
+    // content-addressed and shared, so hits on entries other tenants
+    // inserted still apply.
+    bool quota_ok = true;
+    if (tenant_settings->cache_quota_bytes > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      quota_ok = stats_.tenants[tenant].cache_bytes +
+                     static_cast<std::int64_t>(response.size()) <=
+                 tenant_settings->cache_quota_bytes;
+    }
+    if (quota_ok) {
+      cache_->insert(key, response);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.tenants[tenant].cache_inserts;
+        stats_.tenants[tenant].cache_bytes +=
+            static_cast<std::int64_t>(response.size());
+      }
+      obs::count("service.tenant." + tenant + ".cache_inserts");
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.tenants[tenant].quota_denied;
+      }
+      obs::count("service.tenant." + tenant + ".cache_quota_denied");
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -511,10 +583,13 @@ void Server::send_error(int fd, const Diagnostic& diag) {
   send_frame(fd, FrameKind::kErrorResponse, doc.dump(2));
 }
 
-void Server::record_latency(std::int64_t us) {
+void Server::record_latency(const std::string& tenant, std::int64_t us) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.latency.record(us);
+    if (admission_->registry().find(tenant) != nullptr) {
+      stats_.tenants[tenant].latency.record(us);
+    }
   }
   std::size_t i = 0;
   while (i < kLatencyBucketUs.size() && us > kLatencyBucketUs[i]) ++i;
@@ -531,12 +606,11 @@ ServerStats Server::stats() const {
 
 std::string Server::stats_json() const {
   ServerStats snapshot;
-  std::int64_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot = stats_;
-    depth = queue_depth_;
   }
+  const std::int64_t depth = admission_->total_depth();
   obs::Json doc = obs::Json::object();
   doc["schema"] = "sdfmem.stats.v1";
   doc["requests"] = snapshot.requests;
@@ -545,6 +619,7 @@ std::string Server::stats_json() const {
   doc["overloaded"] = snapshot.overloaded;
   doc["shed_degraded"] = snapshot.shed_degraded;
   doc["bad_frames"] = snapshot.bad_frames;
+  doc["unknown_tenant"] = snapshot.unknown_tenant;
   doc["connections"] = snapshot.connections;
   doc["queue_depth"] = depth;
   doc["max_queue_depth"] = snapshot.max_queue_depth;
@@ -565,6 +640,35 @@ std::string Server::stats_json() const {
   latency["p95_us"] = snapshot.latency.percentile_us(95);
   latency["p99_us"] = snapshot.latency.percentile_us(99);
   doc["latency"] = std::move(latency);
+  // Every registered tenant appears, traffic or not, so dashboards and
+  // the CI smoke assertions can key on names unconditionally.
+  obs::Json tenants = obs::Json::object();
+  for (const auto& [name, settings] : admission_->registry().tenants()) {
+    const TenantStats& ts = snapshot.tenants[name];
+    obs::Json t = obs::Json::object();
+    t["weight"] = settings.weight;
+    t["share_ms"] = admission_->share_ms(name);
+    t["backlog_ms"] = admission_->backlog_ms(name);
+    t["rate_ms_per_sec"] = settings.rate_ms_per_sec;
+    t["cache_quota_bytes"] = settings.cache_quota_bytes;
+    t["requests"] = ts.requests;
+    t["cache_hits"] = ts.cache_hits;
+    t["cache_misses"] = ts.cache_misses;
+    t["overloaded"] = ts.overloaded;
+    t["shed_degraded"] = ts.shed_degraded;
+    t["throttle_wait_us"] = ts.throttle_wait_us;
+    t["cache_inserts"] = ts.cache_inserts;
+    t["cache_bytes"] = ts.cache_bytes;
+    t["cache_quota_denied"] = ts.quota_denied;
+    obs::Json lat = obs::Json::object();
+    lat["count"] = ts.latency.count;
+    lat["p50_us"] = ts.latency.percentile_us(50);
+    lat["p95_us"] = ts.latency.percentile_us(95);
+    lat["p99_us"] = ts.latency.percentile_us(99);
+    t["latency"] = std::move(lat);
+    tenants[name] = std::move(t);
+  }
+  doc["tenants"] = std::move(tenants);
   return doc.dump(2);
 }
 

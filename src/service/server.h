@@ -2,11 +2,13 @@
 //
 // Request lifecycle:
 //
-//   accept -> frame decode -> request parse -> graph canonicalize
+//   accept -> frame decode -> request parse -> tenant resolve
+//     -> graph canonicalize
 //     -> cache lookup ──hit──────────────────────────┐
-//     -> admission control ──shed──> overloaded error│
+//     -> weighted-fair admission (service/qos.h)     │
+//          ──over share──> overloaded error          │
 //     -> compile on util/thread_pool                 │
-//     -> cache insert (full-fidelity results only)   │
+//     -> cache insert (full fidelity + under quota)  │
 //     -> response frame <──────────────────────────────┘
 //
 // Concurrency model: the accept loop runs on the caller of run(); each
@@ -15,20 +17,27 @@
 // expensive work is bounded by the worker count, never by the connection
 // count.
 //
-// Admission control and load shedding: every compile that misses the
-// cache carries a cost — its requested deadline_ms, or
-// `default_cost_ms` when it has none. Costs of queued-or-running
-// compiles accumulate into a backlog; the capacity is
-// `queue_capacity * default_cost_ms`. A request whose admission would
-// push the backlog past capacity is rejected with a typed `overloaded`
-// diagnostic (ErrorCode::kOverloaded, exit code 24) — backpressure the
-// client can see and retry. Before that hard limit, load reuses the
-// pipeline's degradation ladder (pipeline/compile.h): at >= 1/2 of
-// capacity the loop optimizer is capped at kDppo, at >= 3/4 it is forced
-// to kFlat and the ordering heuristic to the plain topological sort.
-// Shed-degraded responses are served but never cached, so cache entries
-// are always full-fidelity and hot responses stay byte-identical to an
-// unloaded cold compile.
+// Multi-tenant admission (docs/TENANCY.md): every compile that misses
+// the cache carries a cost — its requested deadline_ms, or
+// `default_cost_ms` when it has none. The total capacity
+// `queue_capacity * default_cost_ms` is split between the registered
+// tenants by weight; a request whose admission would push ITS tenant's
+// backlog past that tenant's share is rejected with a typed
+// `overloaded` diagnostic (ErrorCode::kOverloaded, exit code 24) —
+// backpressure scoped to the tenant that caused it. An unregistered
+// tenant id is a typed kUnknownTenant (exit code 25). Admitted requests
+// queue per tenant and are scheduled by start-time fair queuing with
+// per-tenant token-bucket throttling (qos::AdmissionController); the
+// slot count equals the compile worker count.
+//
+// Load shedding is per tenant and reuses the pipeline's degradation
+// ladder (pipeline/compile.h): at >= 1/2 of the tenant's share the loop
+// optimizer is capped at kDppo, at >= 3/4 it is forced to kFlat and the
+// ordering heuristic to the plain topological sort. Shed-degraded
+// responses are served but never cached, so cache entries are always
+// full-fidelity and hot responses stay byte-identical to an unloaded
+// cold compile — for every tenant, since responses never embed the
+// tenant id and the cache is shared.
 //
 // Graceful drain (util/shutdown.h): once SIGINT/SIGTERM sets the
 // shutdown flag (or stop() is called), the accept loop closes the
@@ -40,13 +49,18 @@
 //
 // Telemetry (docs/OBSERVABILITY.md): service.requests,
 // service.cache.{hits,misses,inserts,corrupt}, service.overloaded,
-// service.shed_degraded, service.errors, gauge service.queue_depth, and
-// the latency histogram counters service.latency_le_us.<bound>.
+// service.shed_degraded, service.errors, gauge service.queue_depth, the
+// latency histogram counters service.latency_le_us.<bound>, and the
+// per-tenant family service.tenant.<name>.{requests,cache_hits,
+// cache_misses,overloaded,shed_degraded,throttle_wait_us,cache_inserts,
+// cache_quota_denied} plus service.tenant.unknown (cardinality is
+// bounded by the registry: unregistered names never mint counters).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,6 +71,7 @@
 #include "pipeline/governor.h"
 #include "service/cache.h"
 #include "service/protocol.h"
+#include "service/qos.h"
 #include "util/thread_pool.h"
 
 namespace sdf::svc {
@@ -81,6 +96,11 @@ struct ServerOptions {
   /// Server-side ceiling applied to every compile; a request's own
   /// budget can only tighten it.
   ResourceBudget budget;
+  /// Tenant registry (docs/TENANCY.md). The default holds only the
+  /// `public` tenant, which reproduces the single-queue behaviour;
+  /// `--tenants-config` replaces it with a parsed sdfmem.tenants.v1
+  /// document.
+  qos::TenantRegistry tenants;
 };
 
 /// Upper bucket bounds (microseconds) of the request-latency histogram;
@@ -99,6 +119,21 @@ struct LatencyHistogram {
   [[nodiscard]] std::int64_t percentile_us(double p) const noexcept;
 };
 
+/// Per-tenant slice of the server counters. Only registered tenants get
+/// an entry, so a client cannot mint unbounded stats keys.
+struct TenantStats {
+  std::int64_t requests = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t overloaded = 0;
+  std::int64_t shed_degraded = 0;
+  std::int64_t throttle_wait_us = 0;  ///< total time queued before grant
+  std::int64_t cache_inserts = 0;
+  std::int64_t cache_bytes = 0;       ///< bytes inserted (quota basis)
+  std::int64_t quota_denied = 0;      ///< inserts skipped: over quota
+  LatencyHistogram latency;
+};
+
 struct ServerStats {
   std::int64_t requests = 0;
   std::int64_t responses_ok = 0;
@@ -108,9 +143,11 @@ struct ServerStats {
   std::int64_t shed_degraded = 0;  ///< served, but at a load-capped tier
   std::int64_t errors = 0;         ///< error responses sent
   std::int64_t bad_frames = 0;     ///< connections dropped on bad framing
+  std::int64_t unknown_tenant = 0; ///< requests naming no registered tenant
   std::int64_t connections = 0;
   std::int64_t max_queue_depth = 0;
   LatencyHistogram latency;
+  std::map<std::string, TenantStats> tenants;
 };
 
 class Server {
@@ -143,28 +180,21 @@ class Server {
   [[nodiscard]] std::string stats_json() const;
 
  private:
-  struct Admission {
-    bool admitted = false;
-    bool rejected_overloaded = false;
-    std::int64_t cost_ms = 0;
-    /// Load-shed caps (nullopt = request untouched).
-    std::optional<LoopOptimizer> optimizer_cap;
-    bool force_topo_order = false;
-  };
-
   [[nodiscard]] bool stop_requested() const noexcept;
   void serve_connection(int fd);
   void handle_frame(int fd, const Frame& frame);
   void handle_compile(int fd, std::string_view payload);
-  [[nodiscard]] Admission admit(std::int64_t deadline_ms);
-  void release(const Admission& admission);
   void send_frame(int fd, FrameKind kind, std::string_view payload);
   void send_error(int fd, const Diagnostic& diag);
-  void record_latency(std::int64_t us);
+  /// Records into the global histogram always, and into the tenant's
+  /// when `tenant` is registered (unknown ids must not mint entries).
+  void record_latency(const std::string& tenant, std::int64_t us);
+  void note_queue_depth();
 
   ServerOptions options_;
   std::optional<ResultCache> cache_;
   std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<qos::AdmissionController> admission_;
 
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
@@ -174,10 +204,8 @@ class Server {
   std::mutex conn_mu_;
   std::vector<std::thread> connections_;
 
-  mutable std::mutex mu_;        ///< stats + admission backlog
+  mutable std::mutex mu_;  ///< stats
   ServerStats stats_;
-  std::int64_t backlog_ms_ = 0;
-  std::int64_t queue_depth_ = 0;
 
   /// Budgeted compiles serialize on this: the ResourceGovernor scope is
   /// process-global, so two concurrent scopes would cross-restore.

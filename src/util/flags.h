@@ -30,4 +30,20 @@ namespace sdf::util {
   return value;
 }
 
+/// Validates a tenant id (docs/TENANCY.md): 1-64 chars drawn from
+/// [a-z0-9_-]. The charset is deliberately tight — tenant names become
+/// telemetry counter segments ("service.tenant.<name>.requests") and JSON
+/// object keys, so anything that would need escaping is rejected at the
+/// edge (CLI flag parse and server-side request validation alike).
+[[nodiscard]] constexpr bool valid_tenant_name(
+    std::string_view name) noexcept {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 }  // namespace sdf::util

@@ -40,6 +40,7 @@ enum class ErrorCode {
   kCorruptJournal,     ///< batch journal unrecoverable (bad magic/header)
   kInterrupted,        ///< run stopped by SIGINT/SIGTERM; resumable
   kOverloaded,         ///< service admission queue full; retry later
+  kUnknownTenant,      ///< tenant id not in the daemon's registry
 };
 
 /// 1-based source position inside a parsed text; 0 = unknown.
@@ -123,6 +124,8 @@ using InterruptedError =
     detail::TypedError<std::runtime_error, ErrorCode::kInterrupted>;
 using OverloadedError =
     detail::TypedError<std::runtime_error, ErrorCode::kOverloaded>;
+using UnknownTenantError =
+    detail::TypedError<std::runtime_error, ErrorCode::kUnknownTenant>;
 
 /// Value-or-diagnostic return for the pipeline boundary. Interior code
 /// keeps throwing; the boundary catches once and hands callers this.

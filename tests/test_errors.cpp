@@ -22,6 +22,7 @@
 #include "sdf/diagnostics.h"
 #include "sdf/io.h"
 #include "sdf/repetitions.h"
+#include "service/qos.h"
 #include "util/fault.h"
 #include "util/flags.h"
 #include "util/status.h"
@@ -217,6 +218,15 @@ std::vector<ThrowSite> throw_sites() {
          fault::clear();
        },
        ErrorCode::kResourceExhausted},
+
+      // --- src/service -----------------------------------------------
+      {"qos: weighted-fair push for an unregistered tenant",
+       [] {
+         svc::qos::WeightedFairQueue queue;
+         queue.add_tenant("public", 1.0, svc::qos::TokenBucket());
+         (void)queue.push("ghost", 100);
+       },
+       ErrorCode::kUnknownTenant},
   };
 }
 
@@ -240,7 +250,7 @@ TEST(Errors, EveryThrowSiteProducesItsErrorCode) {
 
 TEST(Errors, EveryErrorCodeIsCoveredBySomeSite) {
   std::vector<bool> covered(
-      static_cast<std::size_t>(ErrorCode::kInternal) + 1);
+      static_cast<std::size_t>(ErrorCode::kUnknownTenant) + 1);
   for (const ThrowSite& site : throw_sites()) {
     covered[static_cast<std::size_t>(site.code)] = true;
   }
@@ -248,6 +258,12 @@ TEST(Errors, EveryErrorCodeIsCoveredBySomeSite) {
   // kInternal is the "bug, not input" class; classification of a plain
   // std::logic_error is asserted separately below.
   covered[static_cast<std::size_t>(ErrorCode::kInternal)] = true;
+  // These fire from whole-process flows (journal recovery, SIGTERM
+  // drains, service admission) exercised by their own suites
+  // (test_batch_resume, test_service) rather than one library call.
+  covered[static_cast<std::size_t>(ErrorCode::kCorruptJournal)] = true;
+  covered[static_cast<std::size_t>(ErrorCode::kInterrupted)] = true;
+  covered[static_cast<std::size_t>(ErrorCode::kOverloaded)] = true;
   for (std::size_t i = 0; i < covered.size(); ++i) {
     EXPECT_TRUE(covered[i]) << "no throw site covers "
                             << error_code_name(static_cast<ErrorCode>(i));
@@ -316,14 +332,16 @@ TEST(Errors, NamesAndExitCodesAreStable) {
   EXPECT_EQ(error_code_name(ErrorCode::kCorruptJournal), "corrupt-journal");
   EXPECT_EQ(error_code_name(ErrorCode::kInterrupted), "interrupted");
   EXPECT_EQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_EQ(error_code_name(ErrorCode::kUnknownTenant), "unknown-tenant");
 
   EXPECT_EQ(exit_code_for(ErrorCode::kOk), 0);
   EXPECT_EQ(exit_code_for(ErrorCode::kParse), 11);
   EXPECT_EQ(exit_code_for(ErrorCode::kInternal), 21);
   EXPECT_EQ(exit_code_for(ErrorCode::kInterrupted), 23);
   EXPECT_EQ(exit_code_for(ErrorCode::kOverloaded), 24);
+  EXPECT_EQ(exit_code_for(ErrorCode::kUnknownTenant), 25);
 
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kOverloaded); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnknownTenant); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     EXPECT_EQ(error_code_from_name(error_code_name(code)), code);
   }
@@ -344,6 +362,19 @@ TEST(Errors, OverloadedErrorIsTypedAndCatchable) {
   }
 }
 
+TEST(Errors, UnknownTenantErrorIsTypedAndCatchable) {
+  // The multi-tenant rejection (docs/TENANCY.md) follows the same
+  // dual-inheritance contract; exit 25 is the documented code.
+  try {
+    throw UnknownTenantError("no tenant 'ghost'");
+  } catch (const std::runtime_error& e) {
+    const Diagnostic diag = diagnostic_from_exception(e);
+    EXPECT_EQ(diag.code, ErrorCode::kUnknownTenant);
+    EXPECT_EQ(diag.message, "no tenant 'ghost'");
+    EXPECT_EQ(exit_code_for(diag.code), 25);
+  }
+}
+
 TEST(Errors, StrictFlagParsingRejectsWhatAtoiAccepted) {
   // The CLI routes --jobs/--deadline-ms/--dp-mem-mb through
   // util::parse_positive_flag; each rejected value is a usage error
@@ -354,6 +385,18 @@ TEST(Errors, StrictFlagParsingRejectsWhatAtoiAccepted) {
   EXPECT_FALSE(util::parse_positive_flag("8q"));    // atoi: 8
   EXPECT_FALSE(util::parse_positive_flag(""));
   EXPECT_EQ(util::parse_positive_flag("4"), 4);
+}
+
+TEST(Errors, TenantNameValidation) {
+  // Tenant ids become counter segments and JSON keys (util/flags.h), so
+  // the charset is pinned: 1-64 of [a-z0-9_-].
+  EXPECT_TRUE(util::valid_tenant_name("public"));
+  EXPECT_TRUE(util::valid_tenant_name("team-a_01"));
+  EXPECT_FALSE(util::valid_tenant_name(""));
+  EXPECT_FALSE(util::valid_tenant_name("Upper"));
+  EXPECT_FALSE(util::valid_tenant_name("dot.name"));
+  EXPECT_FALSE(util::valid_tenant_name("sp ace"));
+  EXPECT_FALSE(util::valid_tenant_name(std::string(65, 'a')));
 }
 
 TEST(Errors, DiagnosticFromExceptionClassifiesPlainStdTypes) {

@@ -21,6 +21,7 @@
 #include "service/cache.h"
 #include "service/client.h"
 #include "service/protocol.h"
+#include "service/qos.h"
 #include "service/server.h"
 #include "util/shutdown.h"
 
@@ -531,6 +532,171 @@ TEST(Service, DrainRemovesSocketAndRefusesNewConnections) {
   Client client({scratch.socket_path(), 0});
   ASSERT_TRUE(client.compile(tiny_request()).ok());
   EXPECT_EQ(restarted.server->stats().cache_hits, 1);
+}
+
+// ---------------------------------------------------------------- tenancy
+
+TEST(Protocol, TenantFieldNegotiatesSchemaVersion) {
+  // No tenant: the wire payload stays at schema v1 with no tenant key,
+  // so old servers keep accepting new clients.
+  const CompileRequest v1 = tiny_request();
+  const std::string v1_wire = encode_compile_request(v1);
+  EXPECT_NE(v1_wire.find("sdfmem.request.v1"), std::string::npos);
+  EXPECT_EQ(v1_wire.find("tenant"), std::string::npos);
+
+  // A tenant id upgrades the payload to v2 and round-trips.
+  CompileRequest v2 = tiny_request();
+  v2.tenant = "team-a";
+  const std::string v2_wire = encode_compile_request(v2);
+  EXPECT_NE(v2_wire.find("sdfmem.request.v2"), std::string::npos);
+  const Result<CompileRequest> back = parse_compile_request(v2_wire);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().tenant, "team-a");
+
+  // The tenant never enters the option fingerprint: every tenant hits
+  // the same shared cache entry and gets byte-identical responses.
+  EXPECT_EQ(option_fingerprint(back.value()), option_fingerprint(v1));
+
+  // Malformed tenant ids are rejected at parse time, typed kBadArgument.
+  const Result<CompileRequest> bad = parse_compile_request(
+      R"({"schema": "sdfmem.request.v2", "graph": "g", "tenant": "No!"})");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kBadArgument);
+}
+
+TEST(Service, UnknownTenantRejectedTyped) {
+  Scratch scratch;
+  ServerOptions opts;  // default registry: only `public`
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  CompileRequest req = tiny_request();
+  req.tenant = "ghost";
+  const Result<std::string> r = client.compile(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kUnknownTenant);
+  EXPECT_EQ(exit_code_for(r.error().code), 25);
+  EXPECT_NE(r.error().message.find("ghost"), std::string::npos);
+
+  const ServerStats stats = running.server->stats();
+  EXPECT_EQ(stats.unknown_tenant, 1);
+  // Rejected before any work: no compile, no cache traffic, and no
+  // stats entry minted for the unknown name (bounded cardinality).
+  EXPECT_EQ(stats.cache_misses, 0);
+  EXPECT_EQ(stats.tenants.count("ghost"), 0u);
+}
+
+TEST(Service, OldProtocolClientLandsInPublic) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  // tiny_request() has no tenant, so the wire payload is schema v1 —
+  // exactly what a pre-tenancy client sends.
+  ASSERT_TRUE(client.compile(tiny_request()).ok());
+
+  const ServerStats stats = running.server->stats();
+  ASSERT_EQ(stats.tenants.count("public"), 1u);
+  EXPECT_EQ(stats.tenants.at("public").requests, 1);
+  EXPECT_EQ(stats.tenants.at("public").cache_misses, 1);
+
+  // The same attribution is visible over the wire in stats_json.
+  const obs::Json doc = obs::Json::parse(client.stats());
+  const obs::Json* tenants = doc.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  const obs::Json* pub = tenants->find("public");
+  ASSERT_NE(pub, nullptr);
+  EXPECT_EQ(pub->find("requests")->as_int(), 1);
+  ASSERT_NE(pub->find("weight"), nullptr);
+  ASSERT_NE(pub->find("latency"), nullptr);
+}
+
+TEST(Service, WeightedShareOverloadIsPerTenant) {
+  Scratch scratch;
+  const Result<qos::TenantRegistry> registry = qos::TenantRegistry::parse(
+      R"({"schema": "sdfmem.tenants.v1",
+          "tenants": {"hog": {"weight": 1}, "light": {"weight": 3}}})");
+  ASSERT_TRUE(registry.ok()) << registry.error().message;
+
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.queue_capacity = 4;  // 4 x 1000 ms = 4000 ms total capacity
+  opts.default_cost_ms = 1000;
+  opts.tenants = registry.value();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  // Total weight is public(1) + hog(1) + light(3) = 5, so hog's share
+  // is 4000/5 = 800 ms and light's is 4000*3/5 = 2400 ms. The same
+  // 1500 ms request overloads hog but is admitted for light.
+  CompileRequest req = tiny_request();
+  req.deadline_ms = 1500;
+
+  req.tenant = "hog";
+  const Result<std::string> hog = client.compile(req);
+  ASSERT_FALSE(hog.ok());
+  EXPECT_EQ(hog.error().code, ErrorCode::kOverloaded);
+  EXPECT_EQ(exit_code_for(hog.error().code), 24);
+  EXPECT_NE(hog.error().message.find("hog"), std::string::npos)
+      << "the rejection must name the tenant that exceeded its share";
+
+  req.tenant = "light";
+  const Result<std::string> light = client.compile(req);
+  ASSERT_TRUE(light.ok()) << light.error().message;
+
+  const ServerStats stats = running.server->stats();
+  EXPECT_EQ(stats.tenants.at("hog").overloaded, 1);
+  EXPECT_EQ(stats.tenants.at("light").overloaded, 0);
+  EXPECT_EQ(stats.overloaded, 1);
+}
+
+TEST(Service, CacheQuotaDeniesInsertButServesSharedHits) {
+  Scratch scratch;
+  const Result<qos::TenantRegistry> registry = qos::TenantRegistry::parse(
+      R"({"schema": "sdfmem.tenants.v1",
+          "tenants": {"small": {"cache_quota_bytes": 1}}})");
+  ASSERT_TRUE(registry.ok()) << registry.error().message;
+
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  opts.tenants = registry.value();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+
+  // `small`'s compile succeeds, but its 1-byte quota blocks the insert:
+  // the same request misses again.
+  CompileRequest req = tiny_request();
+  req.tenant = "small";
+  const Result<std::string> first = client.compile(req);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  ASSERT_TRUE(client.compile(req).ok());
+  {
+    const ServerStats stats = running.server->stats();
+    EXPECT_EQ(stats.tenants.at("small").cache_misses, 2);
+    EXPECT_EQ(stats.tenants.at("small").quota_denied, 2);
+    EXPECT_EQ(stats.tenants.at("small").cache_inserts, 0);
+  }
+
+  // `public` (unlimited quota) populates the shared cache...
+  CompileRequest pub = tiny_request();
+  const Result<std::string> warmed = client.compile(pub);
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(warmed.value(), first.value())
+      << "identical requests stay byte-identical across tenants";
+
+  // ...and `small` now hits it: reads are never quota-gated.
+  const Result<std::string> hit = client.compile(req);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), first.value());
+  const ServerStats stats = running.server->stats();
+  EXPECT_EQ(stats.tenants.at("small").cache_hits, 1);
+  EXPECT_EQ(stats.tenants.at("public").cache_inserts, 1);
 }
 
 TEST(Service, ShutdownFlagDrainsRunLoop) {
