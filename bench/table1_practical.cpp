@@ -28,6 +28,15 @@ int run() {
   double improvement_max = 0.0;
   int count = 0;
   for (const Graph& g : bench::table1_systems()) {
+    // Per-system DP allocation profile: counter deltas across this row's
+    // compiles. chunk_allocs is the number of times the DP arena had to
+    // grow (each one a heap allocation + dp_mem charge); oversize_chunks
+    // is the dedicated-chunk fallback for requests beyond the doubling
+    // curve. The dp-speedup CI gate asserts the steady-state hot loop
+    // allocates nothing; these rows record what the cold path costs.
+    const std::int64_t allocs0 = obs::counter("dp.arena.allocs");
+    const std::int64_t chunks0 = obs::counter("dp.arena.chunk_allocs");
+    const std::int64_t oversize0 = obs::counter("dp.arena.oversize_chunks");
     const Table1Row row = table1_row(g);
     if (traj.active()) {
       obs::Json r = obs::Json::object();
@@ -37,6 +46,13 @@ int run() {
       r["best_shared"] = row.best_shared();
       r["bmlb"] = row.bmlb;
       r["improvement_percent"] = row.improvement_percent();
+      r["dp_arena_allocs"] = obs::counter("dp.arena.allocs") - allocs0;
+      r["dp_arena_chunk_allocs"] =
+          obs::counter("dp.arena.chunk_allocs") - chunks0;
+      r["dp_arena_oversize_chunks"] =
+          obs::counter("dp.arena.oversize_chunks") - oversize0;
+      r["dp_arena_high_water_bytes"] =
+          obs::gauge_value("dp.arena.high_water_bytes");
       rows.push_back(std::move(r));
     }
     std::printf(

@@ -44,29 +44,34 @@ std::vector<ActorId> choose_order(const Graph& g, const Repetitions& q,
 
 /// Runs one rung of the ladder; throws ResourceExhaustedError when a
 /// governor budget (or injected fault) trips inside the optimizer.
+/// `arena` hosts the rung's DP tables (warm chunks are reused across
+/// rungs); `shared_costs` is the caller's SplitCosts slab or nullptr.
 void run_optimizer(const Graph& g, const Repetitions& q,
                    const std::vector<ActorId>& order,
-                   LoopOptimizer optimizer, CompileResult& result) {
+                   LoopOptimizer optimizer, util::Arena& arena,
+                   const SplitCosts* shared_costs, CompileResult& result) {
   switch (optimizer) {
     case LoopOptimizer::kDppo: {
-      DppoResult r = dppo(g, q, order);
+      DppoResult r = dppo(g, q, order, &arena, shared_costs);
       result.schedule = std::move(r.schedule);
       result.dp_estimate = r.cost;
       return;
     }
     case LoopOptimizer::kSdppo: {
-      SdppoResult r = sdppo(g, q, order);
+      SdppoResult r = sdppo(g, q, order, &arena, shared_costs);
       result.schedule = std::move(r.schedule);
       result.dp_estimate = r.estimate;
       return;
     }
     case LoopOptimizer::kChainExact: {
       if (chain_order(g).has_value()) {
-        ChainDpResult r = chain_sdppo_exact(g, q, order);
+        ChainDpResult r = chain_sdppo_exact(g, q, order,
+                                            /*max_incomparable=*/32, &arena,
+                                            shared_costs);
         result.schedule = std::move(r.schedule);
         result.dp_estimate = r.estimate;
       } else {
-        SdppoResult r = sdppo(g, q, order);
+        SdppoResult r = sdppo(g, q, order, &arena, shared_costs);
         result.schedule = std::move(r.schedule);
         result.dp_estimate = r.estimate;
       }
@@ -136,6 +141,18 @@ CompileResult compile_with_order(const Graph& g,
 
   {
     const obs::Span dp_span("pipeline.stage.loop_dp");
+    // One arena per compile hosts every rung's DP tables; the governor's
+    // dp_mem budget meters its chunks (util/arena.h). A borrowed
+    // SplitCosts slab is only usable when it matches the order and the
+    // repetitions are unscaled (blocking_factor == 1 — the slab was built
+    // from the base q).
+    util::Arena dp_arena("pipeline.compile.dp");
+    const SplitCosts* shared_costs = options.split_costs;
+    if (shared_costs != nullptr &&
+        (options.blocking_factor != 1 ||
+         shared_costs->size() != order.size())) {
+      shared_costs = nullptr;
+    }
     // The graceful-degradation ladder: when a governor budget (or an
     // injected fault) trips inside an optimizer, retry with the next
     // cheaper rung. kFlat never consults the governor, so the ladder
@@ -144,10 +161,15 @@ CompileResult compile_with_order(const Graph& g,
     result.effective_optimizer = rung;
     for (;;) {
       try {
-        run_optimizer(g, result.q, order, rung, result);
+        run_optimizer(g, result.q, order, rung, dp_arena, shared_costs,
+                      result);
         result.effective_optimizer = rung;
         break;
       } catch (const ResourceExhaustedError&) {
+        // Drop the tripped rung's chunks and their governor charge so the
+        // retry starts from clean accounting, exactly like the legacy
+        // per-rung DpMemoryCharge unwind.
+        dp_arena.release();
         const std::optional<LoopOptimizer> next = degrade_step(rung);
         if (!next) throw;  // already at the floor; nothing cheaper to try
         result.degraded_from.push_back(rung);

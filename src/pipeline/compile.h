@@ -21,6 +21,8 @@
 
 namespace sdf {
 
+class SplitCosts;  // sched/dppo.h
+
 enum class OrderHeuristic {
   kApgan,           ///< bottom-up pairwise clustering
   kRpmc,            ///< recursive min-cut partitioning
@@ -57,6 +59,11 @@ struct CompileOptions {
   /// iteration. Buffers grow ~J; per-firing loop overhead shrinks ~1/J
   /// (the classic SDF throughput/memory trade).
   std::int64_t blocking_factor = 1;
+  /// Borrowed precomputed split-cost slab for the compile's lexical order
+  /// (pipeline/explore_cache.h slab sharing). Must outlive the compile
+  /// and match (graph, repetitions, order) exactly; ignored when
+  /// blocking_factor != 1 or the slab's size does not match the order.
+  const SplitCosts* split_costs = nullptr;
 };
 
 struct CompileResult {

@@ -170,7 +170,7 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
                                        return !s.restored;
                                      });
 
-  ExploreCache cache(g);
+  ExploreCache cache(g, options.share_dp_bases);
   const int jobs = util::ThreadPool::resolve_jobs(options.jobs);
   std::optional<util::ThreadPool> pool;
   if (jobs > 1 && any_fresh) pool.emplace(jobs);
@@ -391,6 +391,10 @@ ExploreResult explore_designs(const Graph& g, const ExploreOptions& options) {
              static_cast<std::int64_t>(result.frontier.size()));
   obs::count("pipeline.explore.cache_hit", cache.hits());
   obs::count("pipeline.explore.cache_miss", cache.misses());
+  obs::count("dp.arena.slab_hits", cache.slab_hits());
+  obs::count("dp.arena.slab_misses", cache.slab_misses());
+  obs::count("dp.arena.slab_evictions", cache.slab_evictions());
+  obs::count("dp.arena.slab_skips", cache.slab_skips());
   if (obs::enabled()) {
     obs::gauge("pipeline.explore.jobs", jobs);
     const double secs =

@@ -8,6 +8,15 @@
 // exactly once and shares it (by const reference) across every variant and
 // every worker thread.
 //
+// DP-base slabs: neighboring explore points that share a lexical ordering
+// also share the DP's SplitCosts oracle (prefix squares + the lower
+// triangle of range-gcds). The cache keeps one heap-resident slab per
+// distinct ordering, keyed by an FNV-1a hash over the ordering bytes, and
+// threads it into each base compile via CompileOptions::split_costs. Slab
+// bytes are charged against the installed ResourceGovernor's dp_mem
+// budget; under pressure the oldest slabs are evicted (in-flight compiles
+// hold shared_ptr references, so eviction never invalidates a user).
+//
 // Thread safety: each slot is guarded by a std::once_flag, so concurrent
 // lookups of the same key block until the single computation finishes and
 // then all observe the same value. Returned references stay valid for the
@@ -15,23 +24,32 @@
 // lookups regardless of thread count or interleaving: misses == distinct
 // keys computed, hits == lookups - misses (a caller that merely *waited*
 // on another thread's computation still counts the lookup as a hit — the
-// work was not repeated).
+// work was not repeated). Slab hit/miss counts are deterministic the same
+// way because slab construction happens inside the registry mutex.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "pipeline/compile.h"
+#include "sched/dppo.h"
 #include "sdf/graph.h"
 
 namespace sdf {
 
+class ResourceGovernor;  // pipeline/governor.h
+
 class ExploreCache {
  public:
-  /// Borrows `g`; the graph must outlive the cache.
-  explicit ExploreCache(const Graph& g) : graph_(g) {}
+  /// Borrows `g`; the graph must outlive the cache. `share_dp_bases`
+  /// toggles the SplitCosts slab registry (ExploreOptions::share_dp_bases).
+  explicit ExploreCache(const Graph& g, bool share_dp_bases = true)
+      : graph_(g), share_dp_bases_(share_dp_bases) {}
+  /// Releases any slab bytes still charged to their governors.
+  ~ExploreCache();
 
   ExploreCache(const ExploreCache&) = delete;
   ExploreCache& operator=(const ExploreCache&) = delete;
@@ -53,6 +71,27 @@ class ExploreCache {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  /// Slab registry telemetry (published as dp.arena.slab_* by explore).
+  [[nodiscard]] std::int64_t slab_hits() const noexcept {
+    return slab_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t slab_misses() const noexcept {
+    return slab_misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t slab_evictions() const noexcept {
+    return slab_evictions_.load(std::memory_order_relaxed);
+  }
+  /// Slabs built but not retained (would not fit the dp_mem budget even
+  /// after evicting everything else).
+  [[nodiscard]] std::int64_t slab_skips() const noexcept {
+    return slab_skips_.load(std::memory_order_relaxed);
+  }
+  /// Live registry bytes (charged against the governor when one is
+  /// installed).
+  [[nodiscard]] std::int64_t slab_bytes() const noexcept {
+    return slab_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::size_t kOrders = 4;      ///< OrderHeuristic values
   static constexpr std::size_t kOptimizers = 4;  ///< LoopOptimizer values
@@ -65,12 +104,35 @@ class ExploreCache {
     std::once_flag once;
     CompileResult value;
   };
+  /// One retained slab; `charged` bytes were charged to `governor` (null
+  /// when the slab was built ungoverned).
+  struct Slab {
+    std::uint64_t key = 0;
+    std::shared_ptr<const SplitCosts> costs;
+    std::int64_t charged = 0;
+    ResourceGovernor* governor = nullptr;
+  };
+
+  /// The shared slab for `ord` (built on demand, inside the registry
+  /// mutex for deterministic counters); nullptr when sharing is off.
+  std::shared_ptr<const SplitCosts> dp_base_slab(
+      const std::vector<ActorId>& ord);
+  void evict_locked(std::size_t index);
 
   const Graph& graph_;
+  const bool share_dp_bases_;
   OrderSlot orders_[kOrders];
   BaseSlot bases_[kOrders][kOptimizers];
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
+
+  std::mutex slab_mutex_;
+  std::vector<Slab> slabs_;  ///< insertion order == eviction order
+  std::atomic<std::int64_t> slab_hits_{0};
+  std::atomic<std::int64_t> slab_misses_{0};
+  std::atomic<std::int64_t> slab_evictions_{0};
+  std::atomic<std::int64_t> slab_skips_{0};
+  std::atomic<std::int64_t> slab_bytes_{0};
 };
 
 }  // namespace sdf

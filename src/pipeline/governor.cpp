@@ -7,9 +7,12 @@
 #include "util/status.h"
 
 namespace sdf {
-namespace {
 
-std::atomic<ResourceGovernor*> g_current{nullptr};
+namespace detail {
+std::atomic<ResourceGovernor*> g_current_governor{nullptr};
+}  // namespace detail
+
+namespace {
 
 [[noreturn]] void trip(std::string_view site, const std::string& what) {
   obs::count("pipeline.governor.trips");
@@ -19,18 +22,15 @@ std::atomic<ResourceGovernor*> g_current{nullptr};
 
 }  // namespace
 
-ResourceGovernor* ResourceGovernor::current() noexcept {
-  return g_current.load(std::memory_order_acquire);
-}
-
 ResourceGovernor::Scope::Scope(ResourceGovernor& governor)
-    : previous_(g_current.exchange(&governor, std::memory_order_acq_rel)) {}
+    : previous_(detail::g_current_governor.exchange(
+          &governor, std::memory_order_acq_rel)) {}
 
 ResourceGovernor::Scope::~Scope() {
-  g_current.store(previous_, std::memory_order_release);
+  detail::g_current_governor.store(previous_, std::memory_order_release);
 }
 
-void governor_checkpoint(std::string_view site) {
+void detail::governor_checkpoint_slow(std::string_view site) {
   if (fault::enabled() && fault::should_fail("dp_deadline")) {
     trip(site, "injected deadline fault");
   }

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/fault.h"
+
 namespace sdf {
 
 /// Budgets for one governed compile; 0 means unlimited.
@@ -91,12 +93,29 @@ class ResourceGovernor {
   std::atomic<std::int64_t> dp_bytes_{0};
 };
 
+namespace detail {
+/// Storage for ResourceGovernor::current(); written only by Scope.
+extern std::atomic<ResourceGovernor*> g_current_governor;
+/// Out-of-line checkpoint body: fault firing rule + deadline check.
+void governor_checkpoint_slow(std::string_view site);
+}  // namespace detail
+
+inline ResourceGovernor* ResourceGovernor::current() noexcept {
+  return detail::g_current_governor.load(std::memory_order_acquire);
+}
+
 /// Cooperative deadline checkpoint. Throws ResourceExhaustedError when the
 /// installed governor's deadline has expired or the fault site
 /// "dp_deadline" fires. `site` names the caller in the error message and
 /// telemetry ("sched.chain_dp", "pipeline.explore", ...). Near-free when
-/// ungoverned and injection is off: two relaxed atomic loads.
-void governor_checkpoint(std::string_view site);
+/// ungoverned and injection is off: two inline atomic loads — the DP
+/// layers call this once per table cell, so the no-op path must not cost
+/// a function call.
+inline void governor_checkpoint(std::string_view site) {
+  if (fault::enabled() || ResourceGovernor::current() != nullptr) {
+    detail::governor_checkpoint_slow(site);
+  }
+}
 
 /// RAII DP-table memory accounting. Construct (empty) at table scope, then
 /// add() as the table grows; every added byte is released on destruction —

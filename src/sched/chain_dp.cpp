@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/counters.h"
 #include "pipeline/governor.h"
+#include "sched/dp_tables.h"
 #include "sched/dppo.h"
 #include "sched/sas.h"
 #include "sdf/analysis.h"
@@ -22,6 +25,10 @@ struct Entry {
   std::size_t right_index = 0;  // entry index in cell (k+1, j)
 };
 
+/// A table cell: its Pareto entries grow out of the compile arena, so the
+/// per-cell push_back never touches the heap.
+using Cell = util::ArenaVector<Entry>;
+
 /// Telemetry tallies for one chain-DP run, reported once at the end.
 struct PruneStats {
   std::int64_t dominated_rejects = 0;  ///< candidates killed on entry
@@ -32,8 +39,8 @@ struct PruneStats {
 /// Inserts `e` into the Pareto set unless dominated; removes entries it
 /// dominates. Keeps at most `bound` entries (smallest cost first on
 /// overflow). Returns true if the set was truncated.
-bool pareto_insert(std::vector<Entry>& set, const Entry& e,
-                   std::size_t bound, PruneStats& stats) {
+bool pareto_insert(Cell& set, const Entry& e, std::size_t bound,
+                   PruneStats& stats) {
   for (const Entry& existing : set) {
     if (existing.t.dominates(e.t)) {
       ++stats.dominated_rejects;
@@ -113,7 +120,9 @@ CostTriple combine_triples(const CostTriple& l, const CostTriple& r,
 
 ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
                                 const std::vector<ActorId>& order,
-                                std::size_t max_incomparable) {
+                                std::size_t max_incomparable,
+                                util::Arena* arena,
+                                const SplitCosts* shared_costs) {
   if (order.empty() || order.size() != g.num_actors()) {
     throw BadOrderError("chain_sdppo_exact: bad order");
   }
@@ -121,25 +130,37 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
     throw BadOrderError("chain_sdppo_exact: order not topological");
   }
   const std::size_t n = order.size();
-  const SplitCosts costs(g, q, order);
+
+  // Resource governance: the Pareto table is the DP's dominant
+  // allocation. It grows out of the arena, whose chunk acquisitions
+  // charge the governor's memory budget (and fire the "dp_mem" fault
+  // site); each cell is a cooperative deadline checkpoint. A trip throws
+  // ResourceExhaustedError and the degradation ladder in
+  // pipeline/compile.cpp retries with a cheaper optimizer.
+  util::Arena local_arena("sched.chain_dp");
+  util::Arena& a = arena != nullptr ? *arena : local_arena;
+  const util::Arena::Scope dp_scope(a);
+
+  std::optional<SplitCosts> own_costs;
+  if (shared_costs == nullptr || shared_costs->size() != n) {
+    own_costs.emplace(g, q, order, &a);
+  }
+  const SplitCosts& costs = own_costs ? *own_costs : *shared_costs;
 
   ChainDpResult result;
-  // table[i][j]: Pareto set for subchain [i..j].
-  std::vector<std::vector<std::vector<Entry>>> table(
-      n, std::vector<std::vector<Entry>>(n));
+  // table[tri_at(i, j)]: Pareto set for subchain [i..j]. The spine and
+  // every cell's entries live in the arena; entries are trivially
+  // destructible, so skipping the cell destructors on unwind is safe
+  // (the arena reclaims the memory wholesale).
+  const std::size_t cells_total = tri_cells(n);
+  Cell* table = a.alloc_array<Cell>(cells_total);
+  for (std::size_t c = 0; c < cells_total; ++c) {
+    new (table + c) Cell(util::ArenaAllocator<Entry>(&a));
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    table[i][i].push_back(Entry{CostTriple{0, 0, 0}, i, 0, 0});
+    table[tri_at(n, i, i)].push_back(Entry{CostTriple{0, 0, 0}, i, 0, 0});
   }
   result.max_pareto_width = 1;
-
-  // Resource governance: the table is the DP's dominant allocation, so
-  // every cell's Pareto entries are charged against the governor's memory
-  // budget, and each cell is a cooperative deadline checkpoint. A trip
-  // throws ResourceExhaustedError and the degradation ladder in
-  // pipeline/compile.cpp retries with a cheaper optimizer.
-  DpMemoryCharge charge("sched.chain_dp");
-  charge.add(static_cast<std::int64_t>(n * n) *
-             static_cast<std::int64_t>(sizeof(std::vector<Entry>)));
 
   PruneStats prune;
   std::int64_t cells = 0;
@@ -149,14 +170,15 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
       const std::size_t j = i + len - 1;
       governor_checkpoint("sched.chain_dp");
       const std::int64_t gij = costs.gij(i, j);
-      auto& cell = table[i][j];
+      const SplitCosts::Slice sc = costs.slice(i, j);
+      Cell& cell = table[tri_at(n, i, j)];
       ++cells;
       for (std::size_t k = i; k < j; ++k) {
-        const std::int64_t c = costs.cost(i, k, j);
+        const std::int64_t c = sc.cost(k);
         const std::int64_t rl = costs.gij(i, k) / gij;
         const std::int64_t rr = costs.gij(k + 1, j) / gij;
-        const auto& lcell = table[i][k];
-        const auto& rcell = table[k + 1][j];
+        const Cell& lcell = table[tri_at(n, i, k)];
+        const Cell& rcell = table[tri_at(n, k + 1, j)];
         for (std::size_t li = 0; li < lcell.size(); ++li) {
           for (std::size_t ri = 0; ri < rcell.size(); ++ri) {
             Entry e;
@@ -172,8 +194,6 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
       }
       result.max_pareto_width = std::max(result.max_pareto_width,
                                          cell.size());
-      charge.add(static_cast<std::int64_t>(cell.size()) *
-                 static_cast<std::int64_t>(sizeof(Entry)));
     }
   }
   obs::count("sched.chain_dp.cells", cells);
@@ -184,7 +204,7 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
   obs::gauge("sched.chain_dp.max_pareto_width",
              static_cast<std::int64_t>(result.max_pareto_width));
 
-  const auto& top = table[0][n - 1];
+  const Cell& top = table[tri_at(n, 0, n - 1)];
   std::size_t best = 0;
   for (std::size_t e = 1; e < top.size(); ++e) {
     if (top[e].t.cost < top[best].t.cost) best = e;
@@ -201,7 +221,7 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
       return Schedule::leaf(order[i],
                             q[static_cast<std::size_t>(order[i])] / divisor);
     }
-    const Entry& e = table[i][j][entry];
+    const Entry& e = table[tri_at(n, i, j)][entry];
     const std::int64_t gij = costs.gij(i, j);
     Schedule body = Schedule::sequence(
         {self(self, i, e.split, e.left_index, gij),
@@ -210,6 +230,11 @@ ChainDpResult chain_sdppo_exact(const Graph& g, const Repetitions& q,
     return body;
   };
   result.schedule = build(build, 0, n - 1, best, 1).normalized();
+
+  // The cells' element memory is arena-owned; run the (no-op for the
+  // elements, no-op for the allocator) destructors anyway so the vectors
+  // end their lifetimes cleanly under the sanitizers.
+  std::destroy_n(table, cells_total);
   return result;
 }
 

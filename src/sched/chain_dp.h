@@ -23,8 +23,11 @@
 #include "sched/schedule.h"
 #include "sdf/graph.h"
 #include "sdf/repetitions.h"
+#include "util/arena.h"
 
 namespace sdf {
+
+class SplitCosts;  // sched/dppo.h
 
 /// One Pareto-optimal cost triple.
 struct CostTriple {
@@ -52,9 +55,12 @@ struct ChainDpResult {
 /// Runs the exact chain DP over a chain order. `order` must list the chain
 /// head-to-tail (use sdf::chain_order). `max_incomparable` bounds the
 /// per-cell Pareto set to keep time/space polynomial (Sec. 6.1).
+/// `arena` / `shared_costs` as in dppo() (sched/dppo.h): optional table
+/// arena and an optional precomputed SplitCosts slab for this exact order.
 [[nodiscard]] ChainDpResult chain_sdppo_exact(
     const Graph& g, const Repetitions& q, const std::vector<ActorId>& order,
-    std::size_t max_incomparable = 32);
+    std::size_t max_incomparable = 32, util::Arena* arena = nullptr,
+    const SplitCosts* shared_costs = nullptr);
 
 /// Convenience: discovers the chain order itself; throws
 /// std::invalid_argument if `g` is not chain-structured.

@@ -1,0 +1,35 @@
+// Flat triangular indexing for the structure-of-arrays DP tables
+// (docs/ARCHITECTURE.md, "DP memory model").
+//
+// Every interval DP in sched/ fills the upper triangle i <= j of an n x n
+// table. Storing only that triangle in a flat array (instead of
+// vector<vector<...>>) halves the footprint and removes a pointer chase
+// per cell; keeping a second, column-major mirror of the cost table lets
+// the O(n^3) inner loop stream both b[i][k] (a row) and b[k+1][j] (a
+// column) from contiguous memory.
+#pragma once
+
+#include <cstddef>
+
+namespace sdf {
+
+/// Number of cells in the upper triangle (pairs i <= j < n).
+[[nodiscard]] constexpr std::size_t tri_cells(std::size_t n) noexcept {
+  return n * (n + 1) / 2;
+}
+
+/// Row-major flat offset of upper-triangle cell (i, j), i <= j < n:
+/// row i starts after the n, n-1, ... cells of the rows above it.
+[[nodiscard]] constexpr std::size_t tri_at(std::size_t n, std::size_t i,
+                                           std::size_t j) noexcept {
+  return i * n - i * (i - 1) / 2 + (j - i);
+}
+
+/// Column-major flat offset of (i, j), i <= j: column j holds its j + 1
+/// cells contiguously. Independent of n.
+[[nodiscard]] constexpr std::size_t tri_col_at(std::size_t i,
+                                               std::size_t j) noexcept {
+  return j * (j + 1) / 2 + i;
+}
+
+}  // namespace sdf

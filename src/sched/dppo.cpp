@@ -1,7 +1,9 @@
 #include "sched/dppo.h"
 
+#include <algorithm>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/counters.h"
@@ -12,102 +14,138 @@
 namespace sdf {
 namespace {
 
-// prefix[a][b] = sum of weight(e) over edges with pos(src) <= a-1 and
+// Fills `out` (a flat (n+1) x (n+1) row-major square) with 2D prefix sums
+// of weight(e): out[a*(n+1)+b] = sum over edges with pos(src) <= a-1 and
 // pos(snk) <= b-1 (1-based guards simplify the rectangle query).
 template <typename WeightFn>
-std::vector<std::vector<std::int64_t>> build_prefix(
-    const Graph& g, const std::vector<ActorId>& order, WeightFn&& weight) {
+void build_prefix(const Graph& g, const std::vector<ActorId>& order,
+                  const std::int32_t* pos,
+                  util::ArenaVector<std::int64_t>& out, WeightFn&& weight) {
   const std::size_t n = order.size();
-  std::vector<std::int32_t> pos(g.num_actors(), -1);
-  for (std::size_t i = 0; i < n; ++i) {
-    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
-  }
-  std::vector<std::vector<std::int64_t>> prefix(
-      n + 1, std::vector<std::int64_t>(n + 1, 0));
+  const std::size_t stride = n + 1;
+  out.assign(stride * stride, 0);
   for (std::size_t e = 0; e < g.num_edges(); ++e) {
     const Edge& edge = g.edge(static_cast<EdgeId>(e));
-    const std::int32_t ps = pos[static_cast<std::size_t>(edge.src)];
-    const std::int32_t pt = pos[static_cast<std::size_t>(edge.snk)];
-    prefix[static_cast<std::size_t>(ps) + 1][static_cast<std::size_t>(pt) +
-                                             1] +=
-        weight(static_cast<EdgeId>(e));
+    const auto ps = static_cast<std::size_t>(
+        pos[static_cast<std::size_t>(edge.src)]);
+    const auto pt = static_cast<std::size_t>(
+        pos[static_cast<std::size_t>(edge.snk)]);
+    out[(ps + 1) * stride + (pt + 1)] += weight(static_cast<EdgeId>(e));
   }
   for (std::size_t a = 1; a <= n; ++a) {
+    std::int64_t* row = out.data() + a * stride;
+    const std::int64_t* above = row - stride;
     for (std::size_t b = 1; b <= n; ++b) {
-      prefix[a][b] += prefix[a - 1][b] + prefix[a][b - 1] -
-                      prefix[a - 1][b - 1];
+      row[b] += above[b] + row[b - 1] - above[b - 1];
     }
   }
-  return prefix;
-}
-
-// Rectangle sum over pos(src) in [i, k], pos(snk) in [k+1, j].
-std::int64_t rect(const std::vector<std::vector<std::int64_t>>& prefix,
-                  std::size_t i, std::size_t k, std::size_t j) {
-  const std::size_t lo_s = i, hi_s = k + 1;     // rows i..k -> [i+1, k+1]
-  const std::size_t lo_t = k + 1, hi_t = j + 1;  // cols k+1..j -> [k+2, j+1]
-  return prefix[hi_s][hi_t] - prefix[lo_s][hi_t] - prefix[hi_s][lo_t] +
-         prefix[lo_s][lo_t];
 }
 
 }  // namespace
 
 SplitCosts::SplitCosts(const Graph& g, const Repetitions& q,
-                       const std::vector<ActorId>& order)
-    : n_(order.size()) {
-  tnse_prefix_ = build_prefix(g, order, [&](EdgeId e) {
-    return tnse(g, q, e);
-  });
-  delay_prefix_ = build_prefix(g, order, [&](EdgeId e) {
-    return g.edge(e).delay;
-  });
-  count_prefix_ = build_prefix(g, order, [](EdgeId) { return 1; });
+                       const std::vector<ActorId>& order, util::Arena* arena)
+    : n_(order.size()),
+      stride_(order.size() + 1),
+      tnse_prefix_(util::ArenaAllocator<std::int64_t>(arena)),
+      delay_prefix_(util::ArenaAllocator<std::int64_t>(arena)),
+      wsum_prefix_(util::ArenaAllocator<std::int64_t>(arena)),
+      count_prefix_(util::ArenaAllocator<std::int64_t>(arena)),
+      tnse_tprefix_(util::ArenaAllocator<std::int64_t>(arena)),
+      delay_tprefix_(util::ArenaAllocator<std::int64_t>(arena)),
+      wsum_tprefix_(util::ArenaAllocator<std::int64_t>(arena)),
+      tnse_diag_(util::ArenaAllocator<std::int64_t>(arena)),
+      delay_diag_(util::ArenaAllocator<std::int64_t>(arena)),
+      wsum_diag_(util::ArenaAllocator<std::int64_t>(arena)),
+      gcd_(util::ArenaAllocator<std::int64_t>(arena)),
+      gcd_inv_(util::ArenaAllocator<std::uint64_t>(arena)) {
+  util::ArenaVector<std::int32_t> pos(
+      (util::ArenaAllocator<std::int32_t>(arena)));
+  pos.assign(g.num_actors(), -1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+  }
 
-  gcd_.assign(n_, std::vector<std::int64_t>(n_, 0));
+  build_prefix(g, order, pos.data(), tnse_prefix_,
+               [&](EdgeId e) { return tnse(g, q, e); });
+  build_prefix(g, order, pos.data(), delay_prefix_,
+               [&](EdgeId e) { return g.edge(e).delay; });
+  build_prefix(g, order, pos.data(), wsum_prefix_,
+               [&](EdgeId e) { return tnse(g, q, e) + g.edge(e).delay; });
+  build_prefix(g, order, pos.data(), count_prefix_,
+               [](EdgeId) { return 1; });
+
+  // Transposed and diagonal mirrors of the weight squares so Slice's
+  // k-loop loads stream contiguously (see sched/dppo.h).
+  const auto mirror = [&](const util::ArenaVector<std::int64_t>& src,
+                          util::ArenaVector<std::int64_t>& transposed,
+                          util::ArenaVector<std::int64_t>& diagonal) {
+    transposed.assign(stride_ * stride_, 0);
+    diagonal.assign(stride_, 0);
+    for (std::size_t a = 0; a < stride_; ++a) {
+      const std::int64_t* row = src.data() + a * stride_;
+      for (std::size_t b = 0; b < stride_; ++b) {
+        transposed[b * stride_ + a] = row[b];
+      }
+      diagonal[a] = row[a];
+    }
+  };
+  mirror(tnse_prefix_, tnse_tprefix_, tnse_diag_);
+  mirror(delay_prefix_, delay_tprefix_, delay_diag_);
+  mirror(wsum_prefix_, wsum_tprefix_, wsum_diag_);
+
+  gcd_.assign(tri_cells(n_), 0);
   for (std::size_t i = 0; i < n_; ++i) {
     std::int64_t acc = 0;
+    std::int64_t* row = gcd_.data() + tri_at(n_, i, i);
     for (std::size_t j = i; j < n_; ++j) {
       acc = std::gcd(acc, q[static_cast<std::size_t>(order[j])]);
-      gcd_[i][j] = acc;
+      row[j - i] = acc;
+    }
+  }
+  gcd_inv_.assign(tri_cells(n_), 0);
+  for (std::size_t c = 0; c < gcd_.size(); ++c) {
+    if (gcd_[c] > 1) {
+      gcd_inv_[c] = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(1) << 64) /
+          static_cast<std::uint64_t>(gcd_[c]));
     }
   }
 }
 
-std::int64_t SplitCosts::tnse_sum(std::size_t i, std::size_t k,
-                                  std::size_t j) const {
-  return rect(tnse_prefix_, i, k, j);
-}
-
-std::int64_t SplitCosts::delay_sum(std::size_t i, std::size_t k,
-                                   std::size_t j) const {
-  return rect(delay_prefix_, i, k, j);
-}
-
-std::int64_t SplitCosts::edge_count(std::size_t i, std::size_t k,
-                                    std::size_t j) const {
-  return rect(count_prefix_, i, k, j);
-}
-
 DppoResult dppo(const Graph& g, const Repetitions& q,
-                const std::vector<ActorId>& order) {
+                const std::vector<ActorId>& order, util::Arena* arena,
+                const SplitCosts* shared_costs) {
   if (!is_topological_order(g, order)) {
     throw BadOrderError("dppo: order is not a topological order");
   }
   const std::size_t n = order.size();
-  const SplitCosts costs(g, q, order);
 
-  // Governance: the two n*n tables are charged up front; each cell is a
-  // cooperative deadline checkpoint (see pipeline/governor.h).
-  DpMemoryCharge charge("sched.dppo");
-  charge.add(static_cast<std::int64_t>(n * n) *
-             static_cast<std::int64_t>(sizeof(std::int64_t) +
-                                       sizeof(std::size_t)));
+  // Governance: the tables below are carved from the arena, so every
+  // chunk acquisition is charged against the governor's dp_mem budget (and
+  // is the "dp_mem" fault point); each cell is a cooperative deadline
+  // checkpoint (see pipeline/governor.h and util/arena.h).
+  util::Arena local_arena("sched.dppo");
+  util::Arena& a = arena != nullptr ? *arena : local_arena;
+  const util::Arena::Scope dp_scope(a);
+
+  std::optional<SplitCosts> own_costs;
+  if (shared_costs == nullptr || shared_costs->size() != n) {
+    own_costs.emplace(g, q, order, &a);
+  }
+  const SplitCosts& costs = own_costs ? *own_costs : *shared_costs;
 
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
-  std::vector<std::vector<std::int64_t>> b(n,
-                                           std::vector<std::int64_t>(n, 0));
-  SplitTable splits;
-  splits.at.assign(n, std::vector<std::size_t>(n, 0));
+  // Structure-of-arrays triangles: the cost table is mirrored row-major
+  // (b_row) and column-major (b_col) so the k-loop streams both b[i][k]
+  // and b[k+1][j] contiguously; splits are a separate flat array.
+  const std::size_t cells_total = tri_cells(n);
+  std::int64_t* b_row = a.alloc_array<std::int64_t>(cells_total);
+  std::int64_t* b_col = a.alloc_array<std::int64_t>(cells_total);
+  std::uint32_t* split = a.alloc_array<std::uint32_t>(cells_total);
+  std::fill_n(b_row, cells_total, 0);
+  std::fill_n(b_col, cells_total, 0);
+  std::fill_n(split, cells_total, 0);
 
   std::int64_t cells = 0;
   std::int64_t split_candidates = 0;
@@ -115,18 +153,21 @@ DppoResult dppo(const Graph& g, const Repetitions& q,
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
       governor_checkpoint("sched.dppo");
+      const SplitCosts::Slice sc = costs.slice(i, j);
+      const std::int64_t* row_i = b_row + tri_at(n, i, i) - i;  // b[i][k]
+      const std::int64_t* col_j = b_col + tri_col_at(0, j);     // b[k+1][j]
       std::int64_t best = kInf;
       std::size_t best_k = i;
       for (std::size_t k = i; k < j; ++k) {
-        const std::int64_t total =
-            b[i][k] + b[k + 1][j] + costs.cost(i, k, j);
+        const std::int64_t total = row_i[k] + col_j[k + 1] + sc.cost(k);
         if (total < best) {
           best = total;
           best_k = k;
         }
       }
-      b[i][j] = best;
-      splits.at[i][j] = best_k;
+      b_row[tri_at(n, i, j)] = best;
+      b_col[tri_col_at(i, j)] = best;
+      split[tri_at(n, i, j)] = static_cast<std::uint32_t>(best_k);
       ++cells;
       split_candidates += static_cast<std::int64_t>(len) - 1;
     }
@@ -135,10 +176,117 @@ DppoResult dppo(const Graph& g, const Repetitions& q,
   obs::count("sched.dppo.splits", split_candidates);
 
   DppoResult result;
-  result.cost = n >= 2 ? b[0][n - 1] : 0;
-  result.splits = splits;
-  result.schedule = schedule_from_splits(g, q, order, splits);
+  result.cost = n >= 2 ? b_row[tri_at(n, 0, n - 1)] : 0;
+  result.splits.at.assign(n, std::vector<std::size_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      result.splits.at[i][j] = split[tri_at(n, i, j)];
+    }
+  }
+  result.schedule = schedule_from_splits(g, q, order, result.splits);
   return result;
+}
+
+std::int64_t dppo_cost(const Graph& g, const Repetitions& q,
+                       const std::vector<ActorId>& order, util::Arena* arena,
+                       const SplitCosts* shared_costs) {
+  if (!is_topological_order(g, order)) {
+    throw BadOrderError("dppo: order is not a topological order");
+  }
+  const std::size_t n = order.size();
+
+  util::Arena local_arena("sched.dppo");
+  util::Arena& a = arena != nullptr ? *arena : local_arena;
+  const util::Arena::Scope dp_scope(a);
+
+  std::optional<SplitCosts> own_costs;
+  if (shared_costs == nullptr || shared_costs->size() != n) {
+    own_costs.emplace(g, q, order, &a);
+  }
+  const SplitCosts& costs = own_costs ? *own_costs : *shared_costs;
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  // The same mirrored triangles as dppo(), minus the split array — the
+  // backtracking state exists only to build a schedule. Only the diagonal
+  // needs initializing: interval-DP fill order writes every longer range
+  // before any cell reads it.
+  const std::size_t stride = n + 1;
+  const std::size_t cells_total = tri_cells(n);
+  std::int64_t* b_row = a.alloc_array<std::int64_t>(cells_total);
+  std::int64_t* b_col = a.alloc_array<std::int64_t>(cells_total);
+  for (std::size_t i = 0; i < n; ++i) {
+    b_row[tri_at(n, i, i)] = 0;
+    b_col[tri_col_at(i, i)] = 0;
+  }
+  std::int64_t* fw = a.alloc_array<std::int64_t>(stride);
+  std::int64_t* ft = a.alloc_array<std::int64_t>(stride);
+  std::int64_t* fd = a.alloc_array<std::int64_t>(stride);
+
+  // j-outer fill with per-column fused (column - diagonal) scratch: the
+  // common gcd == 1 k-loop then makes three streaming loads per split.
+  // Same per-(i,k,j) integer arithmetic as slice() — identical results,
+  // identical checkpoint and telemetry counts; only the cell visit order
+  // and memory traffic change.
+  std::int64_t cells = 0;
+  std::int64_t split_candidates = 0;
+  for (std::size_t j = 1; j < n; ++j) {
+    const std::int64_t* wt = costs.wsum_tprefix_.data() + (j + 1) * stride;
+    const std::int64_t* wd = costs.wsum_diag_.data();
+    for (std::size_t m = 0; m <= j; ++m) fw[m] = wt[m] - wd[m];
+    // gcd of a range divides every sub-range's gcd, so gij(j-1, j) == 1
+    // forces gij(i, j) == 1 for all i — the t/d mirrors go untouched.
+    if (costs.gij(j - 1, j) != 1) {
+      const std::int64_t* tt = costs.tnse_tprefix_.data() + (j + 1) * stride;
+      const std::int64_t* td = costs.tnse_diag_.data();
+      const std::int64_t* dt = costs.delay_tprefix_.data() + (j + 1) * stride;
+      const std::int64_t* dd = costs.delay_diag_.data();
+      for (std::size_t m = 0; m <= j; ++m) {
+        ft[m] = tt[m] - td[m];
+        fd[m] = dt[m] - dd[m];
+      }
+    }
+    const std::int64_t* col_j = b_col + tri_col_at(0, j);  // b[k+1][j]
+    for (std::size_t i = j; i-- > 0;) {
+      governor_checkpoint("sched.dppo");
+      const std::int64_t gcd_ij = costs.gij(i, j);
+      const std::int64_t* row_i = b_row + tri_at(n, i, i) - i;  // b[i][k]
+      std::int64_t best = kInf;
+      if (gcd_ij == 1) {
+        const std::int64_t* w_row = costs.wsum_prefix_.data() + i * stride;
+        const std::int64_t w_base = w_row[j + 1];
+        for (std::size_t k = i; k < j; ++k) {
+          const std::int64_t total = row_i[k] + col_j[k + 1] + fw[k + 1] -
+                                     w_base + w_row[k + 1];
+          best = std::min(best, total);
+        }
+      } else {
+        const std::uint64_t inv = costs.gcd_inv_[tri_at(n, i, j)];
+        const auto div = static_cast<std::uint64_t>(gcd_ij);
+        const std::int64_t* t_row = costs.tnse_prefix_.data() + i * stride;
+        const std::int64_t* d_row = costs.delay_prefix_.data() + i * stride;
+        const std::int64_t t_base = t_row[j + 1];
+        const std::int64_t d_base = d_row[j + 1];
+        for (std::size_t k = i; k < j; ++k) {
+          const auto t = static_cast<std::uint64_t>(ft[k + 1] - t_base +
+                                                    t_row[k + 1]);
+          const std::int64_t d = fd[k + 1] - d_base + d_row[k + 1];
+          auto quot = static_cast<std::uint64_t>(
+              (static_cast<unsigned __int128>(inv) * t) >> 64);
+          if (t - quot * div >= div) ++quot;
+          const std::int64_t total = row_i[k] + col_j[k + 1] +
+                                     static_cast<std::int64_t>(quot) + d;
+          best = std::min(best, total);
+        }
+      }
+      b_row[tri_at(n, i, j)] = best;
+      b_col[tri_col_at(i, j)] = best;
+      ++cells;
+      split_candidates += static_cast<std::int64_t>(j - i);
+    }
+  }
+  obs::count("sched.dppo.cells", cells);
+  obs::count("sched.dppo.splits", split_candidates);
+  return n >= 2 ? b_row[tri_at(n, 0, n - 1)] : 0;
 }
 
 }  // namespace sdf

@@ -4,15 +4,20 @@
 // Given a lexical order (A_1..A_n), computes the order-optimal loop
 // hierarchy: minimize the sum over edges of max_tokens under the "one
 // buffer per edge" metric. O(n^2) table, O(n^3) time, O(1) split cost via
-// 2D prefix sums over edge weights.
+// 2D prefix sums over edge weights. The tables live in a bump arena
+// (util/arena.h) as flat structure-of-arrays triangles; results are
+// byte-identical to the original container-based implementation (pinned
+// by tests/test_dp_differential.cpp).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sched/dp_tables.h"
 #include "sched/sas.h"
 #include "sdf/graph.h"
 #include "sdf/repetitions.h"
+#include "util/arena.h"
 
 namespace sdf {
 
@@ -23,52 +28,202 @@ struct DppoResult {
   SplitTable splits;          ///< parenthesization used
 };
 
-/// Runs DPPO over the given lexical order. `order` must be a topological
-/// order of `g` (delayless acyclic theory; edges with delays contribute
-/// `delay` extra locations to every split they cross).
-/// Throws std::invalid_argument when `order` is not topological.
-[[nodiscard]] DppoResult dppo(const Graph& g, const Repetitions& q,
-                              const std::vector<ActorId>& order);
-
-/// Precomputed split-cost oracle shared by DPPO and SDPPO:
+/// Precomputed split-cost oracle shared by DPPO, SDPPO and the exact
+/// chain DP:
 /// cost(i,k,j) = sum over edges src in order[i..k], snk in order[k+1..j]
 /// of TNSE(e)/g_ij + delay(e), plus range-gcd and emptiness queries.
+///
+/// With `arena` the prefix/gcd tables are carved from it (the per-compile
+/// fast path); without one they live on the heap — that mode backs the
+/// slabs pipeline/explore_cache shares between neighboring explore points.
 class SplitCosts {
  public:
   SplitCosts(const Graph& g, const Repetitions& q,
-             const std::vector<ActorId>& order);
+             const std::vector<ActorId>& order,
+             util::Arena* arena = nullptr);
 
   /// gcd of q over order[i..j].
   [[nodiscard]] std::int64_t gij(std::size_t i, std::size_t j) const {
-    return gcd_[i][j];
+    return gcd_[tri_at(n_, i, j)];
   }
 
   /// Sum of TNSE over split-crossing edges (NOT divided by the gcd).
   [[nodiscard]] std::int64_t tnse_sum(std::size_t i, std::size_t k,
-                                      std::size_t j) const;
+                                      std::size_t j) const {
+    return rect(tnse_prefix_.data(), i, k, j);
+  }
   /// Sum of delays over split-crossing edges.
   [[nodiscard]] std::int64_t delay_sum(std::size_t i, std::size_t k,
-                                       std::size_t j) const;
+                                       std::size_t j) const {
+    return rect(delay_prefix_.data(), i, k, j);
+  }
   /// Number of split-crossing edges (E_s of EQ 4); 0 means "no internal
   /// edges" for the Sec. 5.1 factoring heuristic.
   [[nodiscard]] std::int64_t edge_count(std::size_t i, std::size_t k,
-                                        std::size_t j) const;
+                                        std::size_t j) const {
+    return rect(count_prefix_.data(), i, k, j);
+  }
 
   /// Full split cost c_ij[k] (EQ 3 plus delay carry).
   [[nodiscard]] std::int64_t cost(std::size_t i, std::size_t k,
                                   std::size_t j) const {
-    return tnse_sum(i, k, j) / gij(i, j) + delay_sum(i, k, j);
+    return split_cost(i, k, j, gij(i, j));
+  }
+
+  /// cost() with the cell-invariant g_ij hoisted out of the k-loop. For
+  /// g == 1 (the overwhelmingly common case — any range containing two
+  /// coprime repetition counts) the TNSE and delay rectangles collapse
+  /// into one query on the combined-weight square: t / 1 + d == (t + d),
+  /// so results are unchanged while the inner loop does half the loads
+  /// and skips the idiv.
+  [[nodiscard]] std::int64_t split_cost(std::size_t i, std::size_t k,
+                                        std::size_t j,
+                                        std::int64_t gcd_ij) const {
+    if (gcd_ij == 1) return rect(wsum_prefix_.data(), i, k, j);
+    return rect(tnse_prefix_.data(), i, k, j) / gcd_ij +
+           rect(delay_prefix_.data(), i, k, j);
+  }
+
+  /// Hoisted split-cost pointers for one DP cell (i, j). rect()'s four
+  /// loads per k walk a column (stride n+1), the diagonal (stride n+2), a
+  /// row, and a constant; Slice rewrites the first two against transposed
+  /// and diagonal mirrors so every k-dependent load streams contiguously.
+  /// Same integer arithmetic, same values — only the memory layout moves.
+  struct Slice {
+    const std::int64_t* w_col;   ///< transposed wsum, column j+1
+    const std::int64_t* w_diag;  ///< wsum diagonal
+    const std::int64_t* w_row;   ///< wsum row i
+    std::int64_t w_base;         ///< wsum[i][j+1], cell-constant
+    const std::int64_t* t_col;
+    const std::int64_t* t_diag;
+    const std::int64_t* t_row;
+    std::int64_t t_base;
+    const std::int64_t* d_col;
+    const std::int64_t* d_diag;
+    const std::int64_t* d_row;
+    std::int64_t d_base;
+    std::int64_t gcd;       ///< g_ij for this cell
+    std::uint64_t gcd_inv;  ///< floor(2^64 / gcd), only set when gcd > 1
+
+    /// split_cost(i, k, j, gcd) with all cell-invariant work hoisted and
+    /// the division strength-reduced: t / gcd becomes a multiply-high by
+    /// the precomputed reciprocal plus one correcting subtract. With
+    /// inv = floor(2^64/d) and t in [0, 2^63), q0 = floor(inv*t / 2^64)
+    /// is floor(t/d) or one less (inv*t/2^64 > t/d - t/2^64 - ... >
+    /// t/d - 1), so a single remainder check restores the exact
+    /// truncating quotient — byte-identical to the idiv.
+    [[nodiscard]] std::int64_t cost(std::size_t k) const {
+      if (gcd == 1) {
+        return w_col[k + 1] - w_base - w_diag[k + 1] + w_row[k + 1];
+      }
+      const auto t = static_cast<std::uint64_t>(
+          t_col[k + 1] - t_base - t_diag[k + 1] + t_row[k + 1]);
+      const std::int64_t d =
+          d_col[k + 1] - d_base - d_diag[k + 1] + d_row[k + 1];
+      const auto div = static_cast<std::uint64_t>(gcd);
+      auto q = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(gcd_inv) * t) >> 64);
+      if (t - q * div >= div) ++q;
+      return static_cast<std::int64_t>(q) + d;
+    }
+  };
+
+  [[nodiscard]] Slice slice(std::size_t i, std::size_t j) const {
+    Slice s;
+    s.w_col = wsum_tprefix_.data() + (j + 1) * stride_;
+    s.w_diag = wsum_diag_.data();
+    s.w_row = wsum_prefix_.data() + i * stride_;
+    s.w_base = s.w_row[j + 1];
+    s.t_col = tnse_tprefix_.data() + (j + 1) * stride_;
+    s.t_diag = tnse_diag_.data();
+    s.t_row = tnse_prefix_.data() + i * stride_;
+    s.t_base = s.t_row[j + 1];
+    s.d_col = delay_tprefix_.data() + (j + 1) * stride_;
+    s.d_diag = delay_diag_.data();
+    s.d_row = delay_prefix_.data() + i * stride_;
+    s.d_base = s.d_row[j + 1];
+    s.gcd = gij(i, j);
+    s.gcd_inv = gcd_inv_[tri_at(n_, i, j)];
+    return s;
   }
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
+  /// Resident table bytes — what a cached slab costs against the
+  /// governor's dp_mem budget (pipeline/explore_cache.h).
+  [[nodiscard]] std::int64_t bytes() const {
+    return static_cast<std::int64_t>(
+        (7 * stride_ * stride_ + 3 * stride_ + 2 * tri_cells(n_)) *
+        sizeof(std::int64_t));
+  }
+
  private:
+  // The estimate-only fills iterate j-outer and fuse column-minus-diagonal
+  // scratch arrays from the mirrors below once per column — they read the
+  // raw tables directly instead of going through slice().
+  friend std::int64_t dppo_cost(const Graph&, const Repetitions&,
+                                const std::vector<ActorId>&, util::Arena*,
+                                const SplitCosts*);
+  friend std::int64_t sdppo_estimate(const Graph&, const Repetitions&,
+                                     const std::vector<ActorId>&,
+                                     util::Arena*, const SplitCosts*);
+
+  // Rectangle sum over pos(src) in [i, k], pos(snk) in [k+1, j] on a flat
+  // (n+1) x (n+1) prefix square: prefix[a][b] = sum over edges with
+  // pos(src) <= a-1 and pos(snk) <= b-1.
+  [[nodiscard]] std::int64_t rect(const std::int64_t* prefix, std::size_t i,
+                                  std::size_t k, std::size_t j) const {
+    const std::int64_t* hi = prefix + (k + 1) * stride_;
+    const std::int64_t* lo = prefix + i * stride_;
+    return hi[j + 1] - lo[j + 1] - hi[k + 1] + lo[k + 1];
+  }
+
   std::size_t n_;
-  // prefix[a][b] = sum over edges with pos(src) < a and pos(snk) < b.
-  std::vector<std::vector<std::int64_t>> tnse_prefix_;
-  std::vector<std::vector<std::int64_t>> delay_prefix_;
-  std::vector<std::vector<std::int64_t>> count_prefix_;
-  std::vector<std::vector<std::int64_t>> gcd_;
+  std::size_t stride_;  ///< n_ + 1 (prefix squares are 1-based-guarded)
+  util::ArenaVector<std::int64_t> tnse_prefix_;
+  util::ArenaVector<std::int64_t> delay_prefix_;
+  util::ArenaVector<std::int64_t> wsum_prefix_;  ///< tnse + delay combined
+  util::ArenaVector<std::int64_t> count_prefix_;
+  // Transposed and diagonal mirrors of the three weight squares backing
+  // Slice: the DP k-loop reads a prefix column and the prefix diagonal,
+  // which in row-major layout stride by (n+1) and (n+2) elements.
+  util::ArenaVector<std::int64_t> tnse_tprefix_;
+  util::ArenaVector<std::int64_t> delay_tprefix_;
+  util::ArenaVector<std::int64_t> wsum_tprefix_;
+  util::ArenaVector<std::int64_t> tnse_diag_;
+  util::ArenaVector<std::int64_t> delay_diag_;
+  util::ArenaVector<std::int64_t> wsum_diag_;
+  util::ArenaVector<std::int64_t> gcd_;  ///< upper triangle, tri_at order
+  /// floor(2^64 / gcd_[c]) per triangle cell (0 where gcd == 1): the
+  /// 128-bit division is paid once here, not per slice() in the DP loop.
+  util::ArenaVector<std::uint64_t> gcd_inv_;
 };
+
+/// Runs DPPO over the given lexical order. `order` must be a topological
+/// order of `g` (delayless acyclic theory; edges with delays contribute
+/// `delay` extra locations to every split they cross).
+/// Throws std::invalid_argument when `order` is not topological.
+///
+/// `arena` (optional) hosts the DP tables; the pipeline threads its
+/// per-compile arena through so the degradation ladder reuses warm
+/// chunks. `shared_costs` (optional) skips rebuilding the SplitCosts
+/// oracle when the caller already holds a slab for this exact
+/// (graph, q, order); it is ignored unless its size matches.
+[[nodiscard]] DppoResult dppo(const Graph& g, const Repetitions& q,
+                              const std::vector<ActorId>& order,
+                              util::Arena* arena = nullptr,
+                              const SplitCosts* shared_costs = nullptr);
+
+/// Estimate-only DPPO: the same table fill as dppo() but without split
+/// bookkeeping or schedule reconstruction — just EQ 2's optimal cost.
+/// Identical governor checkpoints and telemetry, so swapping it in for a
+/// dppo() call whose schedule is discarded changes no observable
+/// behavior. This is the hot path of ordering searches that score many
+/// candidate orders (sched/rpmc.h).
+[[nodiscard]] std::int64_t dppo_cost(const Graph& g, const Repetitions& q,
+                                     const std::vector<ActorId>& order,
+                                     util::Arena* arena = nullptr,
+                                     const SplitCosts* shared_costs =
+                                         nullptr);
 
 }  // namespace sdf

@@ -275,8 +275,10 @@ RpmcResult rpmc_multistart(const Graph& g, const Repetitions& q,
     RpmcOptions options;
     options.balance_denominator = denominator;
     RpmcResult candidate = rpmc(g, q, options);
+    // Estimate-only: each candidate's schedule would be rebuilt by the
+    // caller anyway, so only EQ 5's value matters here.
     const std::int64_t estimate =
-        g.num_actors() >= 2 ? sdppo(g, q, candidate.lexorder).estimate : 0;
+        g.num_actors() >= 2 ? sdppo_estimate(g, q, candidate.lexorder) : 0;
     if (estimate < best_estimate) {
       best_estimate = estimate;
       best = std::move(candidate);

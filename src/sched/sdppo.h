@@ -15,8 +15,11 @@
 #include "sched/sas.h"
 #include "sdf/graph.h"
 #include "sdf/repetitions.h"
+#include "util/arena.h"
 
 namespace sdf {
+
+class SplitCosts;  // sched/dppo.h
 
 struct SdppoResult {
   /// The DP's shared-memory cost estimate (EQ 5). An estimate, not the
@@ -28,7 +31,23 @@ struct SdppoResult {
 
 /// Runs the shared-model DP over a topological `order`.
 /// Throws std::invalid_argument when `order` is not topological.
+/// `arena` / `shared_costs` as in dppo() (sched/dppo.h): optional table
+/// arena and an optional precomputed SplitCosts slab for this exact order.
 [[nodiscard]] SdppoResult sdppo(const Graph& g, const Repetitions& q,
-                                const std::vector<ActorId>& order);
+                                const std::vector<ActorId>& order,
+                                util::Arena* arena = nullptr,
+                                const SplitCosts* shared_costs = nullptr);
+
+/// Estimate-only SDPPO: the same table fill as sdppo() but without split
+/// bookkeeping or schedule reconstruction — just EQ 5's optimal value,
+/// which the split tie-break never changes. Identical governor
+/// checkpoints and telemetry. This is the hot path of ordering searches
+/// that score many candidate orders (sched/rpmc.h).
+[[nodiscard]] std::int64_t sdppo_estimate(const Graph& g,
+                                          const Repetitions& q,
+                                          const std::vector<ActorId>& order,
+                                          util::Arena* arena = nullptr,
+                                          const SplitCosts* shared_costs =
+                                              nullptr);
 
 }  // namespace sdf

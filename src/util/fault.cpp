@@ -11,6 +11,11 @@
 #include "util/status.h"
 
 namespace sdf::fault {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
 namespace {
 
 const std::vector<std::string_view> kSites = {
@@ -36,8 +41,6 @@ Config& config() {
   static Config c;
   return c;
 }
-
-std::atomic<bool> g_enabled{false};
 
 int site_index(std::string_view site) {
   for (std::size_t i = 0; i < kSites.size(); ++i) {
@@ -118,7 +121,7 @@ void configure(std::string_view spec, std::uint64_t seed) {
     }
     c.sites[idx].window = window;
   }
-  g_enabled.store(true, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
 }
 
 bool configure_from_env() {
@@ -134,17 +137,13 @@ bool configure_from_env() {
 
 void clear() {
   Config& c = config();
-  g_enabled.store(false, std::memory_order_release);
+  detail::g_enabled.store(false, std::memory_order_release);
   for (ArmedSite& s : c.sites) {
     s.window = 0;
     s.fires.store(0, std::memory_order_relaxed);
   }
   const std::lock_guard<std::mutex> lock(c.global_mu);
   c.global_checks.clear();
-}
-
-bool enabled() noexcept {
-  return g_enabled.load(std::memory_order_acquire);
 }
 
 bool should_fail(std::string_view site) {

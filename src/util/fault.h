@@ -23,6 +23,7 @@
 // fault-matrix test can prove every one of them is forced by some test.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -52,9 +53,16 @@ bool configure_from_env();
 /// Disables injection and clears every counter.
 void clear();
 
-/// True when any site is armed. One relaxed atomic load — the fast path
+namespace detail {
+/// Storage for enabled(); written only by configure()/clear().
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when any site is armed. One atomic load, inline — the fast path
 /// every instrumented call site pays when injection is off.
-[[nodiscard]] bool enabled() noexcept;
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_acquire);
+}
 
 /// True when the armed site should fail at this check (see file comment
 /// for the firing rule). Unarmed/unknown sites never fire. Thread-safe.

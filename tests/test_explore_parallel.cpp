@@ -27,6 +27,7 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "pipeline/explore.h"
+#include "pipeline/governor.h"
 #include "sched/simulator.h"
 #include "sdf/repetitions.h"
 #include "test_util.h"
@@ -174,6 +175,111 @@ TEST(ExploreParallel, CacheCountersAreDeterministicAcrossJobCounts) {
     obs::set_enabled(false);
     obs::reset();
   }
+}
+
+TEST(ExploreParallel, SlabSharingOnOffIsByteIdentical) {
+  // The per-ordering SplitCosts slab (explore_cache.h) is a pure memo:
+  // turning it off must not move a single byte of output, at any job
+  // count.
+  for (const Graph& g : {satellite_receiver(), qmf23(2)}) {
+    ExploreOptions shared;
+    shared.jobs = 1;
+    shared.share_dp_bases = true;
+    const std::string want = fingerprint(g, explore_designs(g, shared));
+    for (const int jobs : {1, 4}) {
+      for (const bool share : {true, false}) {
+        ExploreOptions options;
+        options.jobs = jobs;
+        options.share_dp_bases = share;
+        EXPECT_EQ(fingerprint(g, explore_designs(g, options)), want)
+            << g.name() << " jobs=" << jobs << " share=" << share;
+      }
+    }
+  }
+}
+
+TEST(ExploreParallel, SlabCountersAreDeterministicAcrossJobCounts) {
+  // Slab builds happen inside the registry mutex, so misses == distinct
+  // ordering hashes and hits == remaining DP-base lookups — independent
+  // of thread interleaving. With sharing off, the registry stays silent.
+  const Graph g = qmf23(2);
+  std::int64_t want_hits = -1;
+  std::int64_t want_misses = -1;
+  for (const int jobs : {1, 4}) {
+    obs::set_enabled(true);
+    obs::reset();
+    ExploreOptions options;
+    options.jobs = jobs;
+    (void)explore_designs(g, options);
+    const std::int64_t hits = obs::counter("dp.arena.slab_hits");
+    const std::int64_t misses = obs::counter("dp.arena.slab_misses");
+    obs::set_enabled(false);
+    obs::reset();
+    EXPECT_GE(misses, 1) << jobs << " jobs";
+    EXPECT_GE(hits, 1) << jobs << " jobs";
+    if (want_hits < 0) {
+      want_hits = hits;
+      want_misses = misses;
+    } else {
+      EXPECT_EQ(hits, want_hits) << jobs << " jobs";
+      EXPECT_EQ(misses, want_misses) << jobs << " jobs";
+    }
+  }
+
+  obs::set_enabled(true);
+  obs::reset();
+  ExploreOptions off;
+  off.jobs = 4;
+  off.share_dp_bases = false;
+  (void)explore_designs(g, off);
+  EXPECT_EQ(obs::counter("dp.arena.slab_hits"), 0);
+  EXPECT_EQ(obs::counter("dp.arena.slab_misses"), 0);
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ExploreParallel, SlabRegistryUnderMemoryPressureStaysValid) {
+  // A dp_mem budget too small for even one slab forces the registry down
+  // its skip path (build, fail to retain, hand the slab to the one
+  // caller) while every DP compile's arena trips and degrades to flat.
+  // The sweep must still complete with pool-valid schedules and leave
+  // the governor's accounting at zero. (No byte-identity assertion here:
+  // under a shared global budget, concurrent arenas make individual trip
+  // points interleaving-dependent.)
+  const Graph g = satellite_receiver();
+  const Repetitions q = repetitions_vector(g);
+  ResourceGovernor governor(ResourceBudget{0, /*dp_mem_bytes=*/4096});
+  ExploreResult r;
+  {
+    const ResourceGovernor::Scope scope(governor);
+    obs::set_enabled(true);
+    obs::reset();
+    ExploreOptions options;
+    options.jobs = 4;
+    options.keep_point_schedules = true;
+    r = explore_designs(g, options);
+    EXPECT_GE(obs::counter("dp.arena.slab_skips"), 1);
+    obs::set_enabled(false);
+    obs::reset();
+  }
+  EXPECT_EQ(governor.dp_bytes_in_use(), 0);
+  ASSERT_FALSE(r.points.empty());
+  int checked = 0;
+  for (const DesignPoint& p : r.points) {
+    if (p.strategy.find("+merge") != std::string::npos) continue;
+    if (!p.schedule.is_single_appearance(g.num_actors())) continue;
+    const ScheduleTree tree(g, p.schedule);
+    const std::vector<BufferLifetime> lifetimes =
+        extract_lifetimes(g, q, tree);
+    const IntersectionGraph wig = build_intersection_graph(tree, lifetimes);
+    const Allocation alloc =
+        first_fit(wig, lifetimes, FirstFitOrder::kByDuration);
+    const PoolCheckResult check =
+        check_allocation_by_execution(g, p.schedule, lifetimes, alloc);
+    EXPECT_TRUE(check.ok) << p.strategy << ": " << check.error;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
 }
 
 TEST(ExploreParallel, WorkerSpansAreRecorded) {
