@@ -11,11 +11,22 @@
 // connections. The headline is the fairness ratio — light's adversarial
 // p95 over its solo p95 — which the QoS contract promises stays <= 2x.
 //
+// A third phase benchmarks fleet mode (docs/SERVICE.md, "Fleet mode"):
+// the same workload replayed through the shard router over 1, 2, and 4
+// workers (each with its own cache + hot tier). The headline is that the
+// hot p50 and the routed hit rate hold as the fleet grows — shard
+// routing keeps every key's cache on one worker, so adding workers never
+// dilutes hit rates the way naive round-robin would.
+//
 //   SDFMEM_SERVICE_CLIENTS        concurrent client connections (default 4)
 //   SDFMEM_SERVICE_ROUNDS         hot rounds over the suite (default 3)
 //   SDFMEM_SERVICE_LIGHT_REQS     light-tenant requests per phase (default 24)
 //   SDFMEM_SERVICE_HOG_CLIENTS    hog connections in the mix (default 4)
 //   SDFMEM_SERVICE_FAIRNESS_GATE  nonzero: exit 1 when the ratio exceeds 2
+//   SDFMEM_SERVICE_FLEET_GATE     nonzero: exit 1 when the routed hot hit
+//                                 rate drops below 95% at any fleet size,
+//                                 or the 4-worker hot p50 exceeds 3x the
+//                                 1-worker hot p50
 //   SDFMEM_BENCH_JSON             write the trajectory as telemetry JSON
 #include <unistd.h>
 
@@ -24,6 +35,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -33,6 +45,7 @@
 #include "sdf/io.h"
 #include "service/client.h"
 #include "service/qos.h"
+#include "service/router.h"
 #include "service/server.h"
 
 namespace sdf::bench {
@@ -296,6 +309,167 @@ int fairness_phase(JsonTrajectory& trajectory) {
   return 0;
 }
 
+// ------------------------------------------------------------------ fleet
+
+/// Benchmarks the shard router over 1/2/4 workers: cold replay, then hot
+/// rounds, reporting routed latency percentiles and the router-observed
+/// hit rate per round. Returns nonzero when the fleet gate is armed and
+/// the hit rate or p50 scaling contract is violated.
+int fleet_phase(JsonTrajectory& trajectory) {
+  const int clients = env_int("SDFMEM_SERVICE_CLIENTS", 4);
+  const int hot_rounds = env_int("SDFMEM_SERVICE_ROUNDS", 3);
+  const bool gate = env_int("SDFMEM_SERVICE_FLEET_GATE", 0) != 0;
+
+  std::vector<std::string> requests;
+  for (const Graph& g : table1_systems()) {
+    requests.push_back(write_graph_text(g));
+  }
+
+  std::printf("\nfleet: shard-routed workers (consistent hashing + "
+              "per-worker cache/hot tier), %d client(s), %d hot round(s)\n",
+              clients, hot_rounds);
+  std::printf("%-14s %8s %10s %10s %10s %7s %7s %9s\n", "fleet-round",
+              "reqs", "p50_us", "p95_us", "p99_us", "hits", "misses",
+              "hit_rate");
+
+  obs::Json sizes_json = obs::Json::array();
+  std::vector<std::int64_t> hot_p50_by_size;
+  std::vector<double> hit_rate_by_size;
+  for (const int n : {1, 2, 4}) {
+    const std::string dir = "/tmp/sdfmem_service_fleet_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(n);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    std::vector<std::unique_ptr<svc::Server>> servers;
+    std::vector<std::thread> runners;
+    svc::RouterOptions ropts;
+    ropts.socket_path = dir + "/router.sock";
+    for (int w = 0; w < n; ++w) {
+      svc::ServerOptions wopts;
+      wopts.socket_path = dir + "/w" + std::to_string(w) + ".sock";
+      wopts.cache_dir = dir + "/w" + std::to_string(w) + ".cache";
+      wopts.worker_id = "w" + std::to_string(w);
+      wopts.jobs = -1;
+      wopts.queue_capacity = 1024;
+      servers.push_back(std::make_unique<svc::Server>(wopts));
+      servers.back()->start();
+      runners.emplace_back([s = servers.back().get()] { s->run(); });
+      svc::WorkerConfig cfg;
+      cfg.id = wopts.worker_id;
+      cfg.endpoint.socket_path = wopts.socket_path;
+      cfg.pinned_id = true;
+      ropts.workers.push_back(cfg);
+    }
+    svc::Router router(ropts);
+    router.start();
+    std::thread router_runner([&router] { router.run(); });
+
+    svc::RouterStats last = router.stats();
+    const auto routed_round = [&](const std::string& label,
+                                  int round_clients) {
+      RoundResult round;
+      round.label = label;
+      round.latencies_us =
+          run_round(ropts.socket_path, requests, round_clients);
+      const svc::RouterStats now = router.stats();
+      round.hits = (now.lookup_hits + now.peer_hits) -
+                   (last.lookup_hits + last.peer_hits);
+      round.misses = now.compiles - last.compiles;
+      last = now;
+      return round;
+    };
+
+    std::vector<RoundResult> rounds;
+    rounds.push_back(routed_round("w" + std::to_string(n) + "-cold", 1));
+    for (int r = 0; r < hot_rounds; ++r) {
+      rounds.push_back(routed_round(
+          "w" + std::to_string(n) + "-hot" + std::to_string(r + 1),
+          clients));
+    }
+
+    router.stop();
+    router_runner.join();
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      servers[i]->stop();
+      runners[i].join();
+    }
+
+    obs::Json rows = obs::Json::array();
+    for (RoundResult& round : rounds) {
+      std::sort(round.latencies_us.begin(), round.latencies_us.end());
+      const std::int64_t p50 = percentile(round.latencies_us, 50);
+      const std::int64_t p95 = percentile(round.latencies_us, 95);
+      const std::int64_t p99 = percentile(round.latencies_us, 99);
+      std::printf("%-14s %8zu %10lld %10lld %10lld %7lld %7lld %8.1f%%\n",
+                  round.label.c_str(), round.latencies_us.size(),
+                  static_cast<long long>(p50), static_cast<long long>(p95),
+                  static_cast<long long>(p99),
+                  static_cast<long long>(round.hits),
+                  static_cast<long long>(round.misses),
+                  100.0 * round.hit_rate());
+      obs::Json row = obs::Json::object();
+      row["round"] = round.label;
+      row["requests"] =
+          static_cast<std::int64_t>(round.latencies_us.size());
+      row["p50_us"] = p50;
+      row["p95_us"] = p95;
+      row["p99_us"] = p99;
+      row["hits"] = round.hits;
+      row["misses"] = round.misses;
+      row["hit_rate"] = round.hit_rate();
+      rows.push_back(std::move(row));
+    }
+    hot_p50_by_size.push_back(percentile(rounds.back().latencies_us, 50));
+    hit_rate_by_size.push_back(rounds.back().hit_rate());
+
+    obs::Json size_json = obs::Json::object();
+    size_json["workers"] = static_cast<std::int64_t>(n);
+    size_json["rounds"] = std::move(rows);
+    size_json["hot_p50_us"] = hot_p50_by_size.back();
+    size_json["hot_hit_rate"] = hit_rate_by_size.back();
+    sizes_json.push_back(std::move(size_json));
+
+    std::filesystem::remove_all(dir);
+  }
+
+  std::printf("fleet hot p50: 1w %lld us, 2w %lld us, 4w %lld us; "
+              "hot hit rate: %.1f%% / %.1f%% / %.1f%%\n",
+              static_cast<long long>(hot_p50_by_size[0]),
+              static_cast<long long>(hot_p50_by_size[1]),
+              static_cast<long long>(hot_p50_by_size[2]),
+              100.0 * hit_rate_by_size[0], 100.0 * hit_rate_by_size[1],
+              100.0 * hit_rate_by_size[2]);
+
+  if (trajectory.active()) {
+    trajectory.results()["fleet"] = std::move(sizes_json);
+  }
+
+  if (gate) {
+    for (std::size_t i = 0; i < hit_rate_by_size.size(); ++i) {
+      if (hit_rate_by_size[i] < 0.95) {
+        std::fprintf(stderr,
+                     "service_load: FAIL fleet gate: hot hit rate %.1f%% "
+                     "< 95%% at size %zu\n",
+                     100.0 * hit_rate_by_size[i], i);
+        return 1;
+      }
+    }
+    if (hot_p50_by_size[0] > 0 &&
+        static_cast<double>(hot_p50_by_size[2]) >
+            3.0 * static_cast<double>(hot_p50_by_size[0])) {
+      std::fprintf(stderr,
+                   "service_load: FAIL fleet gate: 4-worker hot p50 "
+                   "%lld us > 3x 1-worker %lld us\n",
+                   static_cast<long long>(hot_p50_by_size[2]),
+                   static_cast<long long>(hot_p50_by_size[0]));
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int body() {
   JsonTrajectory trajectory("service_load");
   const int clients = env_int("SDFMEM_SERVICE_CLIENTS", 4);
@@ -404,7 +578,9 @@ int body() {
   }
 
   std::filesystem::remove_all(dir);
-  return fairness_phase(trajectory);
+  const int fairness_rc = fairness_phase(trajectory);
+  const int fleet_rc = fleet_phase(trajectory);
+  return fairness_rc != 0 ? fairness_rc : fleet_rc;
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 //   sdfmem_cli resume <journal>       # finish an interrupted batch
 //   sdfmem_cli serve  --socket s.sock # compile daemon (docs/SERVICE.md)
 //   sdfmem_cli client g.sdf --socket s.sock   # compile via the daemon
+//   sdfmem_cli route  --socket r.sock --worker w1@/tmp/w1.sock ...
+//                                     # fleet router over N daemons
 //
 // Batch mode (docs/DURABILITY.md): `<jobs>` is a directory of .sdf files,
 // a single .sdf file, or a manifest listing graph paths. Progress is
@@ -39,6 +41,17 @@
 // JSON; `--tenant name` tags the request for QoS accounting (unset
 // lands in `public`), `--stats` asks for the daemon's live stats
 // document instead.
+//
+// Fleet mode (docs/SERVICE.md, "Fleet mode"): `route` runs the shard
+// router over `--worker [id@]{path|tcp:PORT}` workers (repeat the flag
+// per worker). Requests are routed by the content-addressed cache key on
+// a consistent-hash ring; shard misses probe peers and warm the owner;
+// dead workers are health-checked out (`--health-ms N`) and re-routed
+// around, and a fleet with no live worker answers with the typed
+// `unavailable` error (exit 26) instead of hanging. `serve` grows
+// `--worker-id name` (identity echoed in stats for the router's health
+// check) and `--hot-mb N` (in-memory LRU hot tier over the disk cache;
+// 0 disables, default 32).
 //
 // `--jobs N` sets the worker-thread count for the parallel paths (design-
 // space exploration in `explore`, the two pipeline sides in `report`, the
@@ -83,6 +96,7 @@
 #include "sdf/io.h"
 #include "sdf/transform.h"
 #include "service/client.h"
+#include "service/router.h"
 #include "service/server.h"
 #include "util/fault.h"
 #include "util/flags.h"
@@ -107,7 +121,11 @@ void usage() {
       "       sdfmem_cli serve [--socket path] [--port N] [--cache dir]\n"
       "                  [--queue N] [--cost-ms N] [--jobs N]\n"
       "                  [--deadline-ms N] [--dp-mem-mb N]\n"
-      "                  [--tenants-config file.json]\n"
+      "                  [--tenants-config file.json] [--worker-id name]\n"
+      "                  [--hot-mb N]\n"
+      "       sdfmem_cli route [--socket path] [--port N]\n"
+      "                  --worker [id@]{path|tcp:PORT} [--worker ...]\n"
+      "                  [--health-ms N] [--worker-timeout-ms N]\n"
       "       sdfmem_cli client [graph.sdf] (--socket path | --port N)\n"
       "                  [--tenant name] [--stats] [--json]\n");
 }
@@ -261,6 +279,11 @@ int main(int argc, char** argv) {
   bool stats_request = false;
   std::string tenant;
   std::string tenants_config_path;
+  std::string worker_id;
+  std::int64_t hot_mb = -1;  // -1 = ServerOptions default
+  std::vector<std::string> worker_specs;
+  int health_ms = 250;
+  int worker_timeout_ms = 60000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
@@ -396,6 +419,42 @@ int main(int argc, char** argv) {
         return kUsageExit;
       }
       tenants_config_path = argv[++i];
+    } else if (arg == "--worker-id") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      worker_id = argv[++i];
+    } else if (arg == "--hot-mb") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--hot-mb", argv[++i]);
+      if (!v) return kUsageExit;
+      hot_mb = *v;
+    } else if (arg == "--worker") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      worker_specs.emplace_back(argv[++i]);
+    } else if (arg == "--health-ms") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_positive("--health-ms", argv[++i]);
+      if (!v) return kUsageExit;
+      health_ms = static_cast<int>(*v);
+    } else if (arg == "--worker-timeout-ms") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_positive("--worker-timeout-ms", argv[++i]);
+      if (!v) return kUsageExit;
+      worker_timeout_ms = static_cast<int>(*v);
     } else if (arg == "--stats") {
       stats_request = true;
     } else if (arg == "--json") {
@@ -415,7 +474,7 @@ int main(int argc, char** argv) {
       mode != "dump" && mode != "explore" && mode != "gantt" &&
       mode != "dot" && mode != "hsdf" && mode != "stats" &&
       mode != "batch" && mode != "resume" && mode != "serve" &&
-      mode != "client") {
+      mode != "route" && mode != "client") {
     usage();
     return kUsageExit;
   }
@@ -446,6 +505,8 @@ int main(int argc, char** argv) {
       sopts.queue_capacity = queue_capacity;
       sopts.default_cost_ms = cost_ms;
       sopts.budget = budget;
+      sopts.worker_id = worker_id;
+      if (hot_mb >= 0) sopts.hot_tier_bytes = hot_mb * (1ll << 20);
       if (!tenants_config_path.empty()) {
         const Result<svc::qos::TenantRegistry> registry =
             svc::qos::TenantRegistry::parse(
@@ -475,6 +536,48 @@ int main(int argc, char** argv) {
     }
     if (util::shutdown_requested()) {
       std::fprintf(stderr, "sdfmemd: drained\n");
+      return exit_code_for(ErrorCode::kInterrupted);
+    }
+    return 0;
+  }
+
+  if (mode == "route") {
+    if (socket_path.empty() && tcp_port == 0) {
+      std::fprintf(stderr, "error: route requires --socket and/or --port\n");
+      usage();
+      return kUsageExit;
+    }
+    if (worker_specs.empty()) {
+      std::fprintf(stderr, "error: route requires at least one --worker\n");
+      usage();
+      return kUsageExit;
+    }
+    util::install_shutdown_handlers();
+    try {
+      svc::RouterOptions ropts;
+      ropts.socket_path = socket_path;
+      ropts.tcp_port = tcp_port;
+      ropts.health_interval_ms = health_ms;
+      ropts.worker_timeout_ms = worker_timeout_ms;
+      for (const std::string& spec : worker_specs) {
+        const Result<svc::WorkerConfig> worker = svc::parse_worker_spec(spec);
+        if (!worker.ok()) return report_error(worker.error(), json_errors);
+        ropts.workers.push_back(worker.value());
+      }
+      svc::Router router(ropts);
+      router.start();
+      std::fprintf(stderr, "sdfmem-router: listening%s%s%s (%zu workers)\n",
+                   socket_path.empty() ? "" : " on ",
+                   socket_path.c_str(),
+                   tcp_port != 0 ? " (tcp)" : "",
+                   ropts.workers.size());
+      std::fflush(stderr);
+      router.run();
+    } catch (const std::exception& e) {
+      return report_error(diagnostic_from_exception(e), json_errors);
+    }
+    if (util::shutdown_requested()) {
+      std::fprintf(stderr, "sdfmem-router: drained\n");
       return exit_code_for(ErrorCode::kInterrupted);
     }
     return 0;

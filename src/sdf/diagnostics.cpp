@@ -6,7 +6,7 @@
 namespace sdf {
 namespace {
 
-constexpr std::array<std::pair<ErrorCode, std::string_view>, 16> kNames{{
+constexpr std::array<std::pair<ErrorCode, std::string_view>, 17> kNames{{
     {ErrorCode::kOk, "ok"},
     {ErrorCode::kParse, "parse"},
     {ErrorCode::kIo, "io"},
@@ -23,6 +23,7 @@ constexpr std::array<std::pair<ErrorCode, std::string_view>, 16> kNames{{
     {ErrorCode::kInterrupted, "interrupted"},
     {ErrorCode::kOverloaded, "overloaded"},
     {ErrorCode::kUnknownTenant, "unknown-tenant"},
+    {ErrorCode::kUnavailable, "unavailable"},
 }};
 
 }  // namespace
@@ -43,7 +44,7 @@ ErrorCode error_code_from_name(std::string_view name) noexcept {
 
 int exit_code_for(ErrorCode code) noexcept {
   if (code == ErrorCode::kOk) return 0;
-  return 10 + static_cast<int>(code);  // kParse=11 ... kUnknownTenant=25
+  return 10 + static_cast<int>(code);  // kParse=11 ... kUnavailable=26
 }
 
 Diagnostic diagnostic_from_exception(const std::exception& e) {

@@ -1,6 +1,12 @@
 #include "service/cache.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <utility>
@@ -27,20 +33,6 @@ std::optional<std::string> read_file(const std::string& path) {
   return data;
 }
 
-std::optional<std::uint64_t> parse_key_hex(std::string_view hex) {
-  if (hex.size() != 16) return std::nullopt;
-  std::uint64_t key = 0;
-  for (const char c : hex) {
-    key <<= 4;
-    if (c >= '0' && c <= '9') key |= static_cast<std::uint64_t>(c - '0');
-    else if (c >= 'a' && c <= 'f')
-      key |= static_cast<std::uint64_t>(c - 'a' + 10);
-    else
-      return std::nullopt;
-  }
-  return key;
-}
-
 }  // namespace
 
 ResultCache::ResultCache(const std::string& dir) : dir_(dir) {
@@ -51,6 +43,31 @@ ResultCache::ResultCache(const std::string& dir) : dir_(dir) {
                   ec.message());
   }
 
+  // Single-writer lock: the index journal tolerates exactly one
+  // appender. Taken before the journal is even opened so a concurrent
+  // opener cannot observe a half-replayed index.
+  const std::string lock_path = (fs::path(dir) / "lock").string();
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    throw IoError("cache: cannot open " + lock_path + ": " +
+                  std::strerror(errno));
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    const bool busy = errno == EWOULDBLOCK;
+    const std::string detail = std::strerror(errno);
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    if (busy) {
+      throw IoError("cache: " + dir + " is locked by another process "
+                    "(each sdfmemd worker needs its own --cache dir; "
+                    "docs/SERVICE.md \"Fleet mode\")");
+    }
+    throw IoError("cache: cannot lock " + lock_path + ": " + detail);
+  }
+
+  // From here on the lock is held; release it if index replay throws
+  // (the destructor never runs for a partially constructed object).
+  try {
   const std::string index_path = (fs::path(dir) / "index.journal").string();
   if (fs::exists(index_path)) {
     const util::RecoveredJournal recovered =
@@ -101,6 +118,15 @@ ResultCache::ResultCache(const std::string& dir) : dir_(dir) {
     writer_.emplace(util::JournalWriter::create(index_path, header.dump()));
   }
   stats_.entries = static_cast<std::int64_t>(entries_.size());
+  } catch (...) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw;
+  }
+}
+
+ResultCache::~ResultCache() {
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
 }
 
 std::string ResultCache::object_path(std::uint64_t key) const {
@@ -144,8 +170,19 @@ void ResultCache::insert(std::uint64_t key, std::string_view payload) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (entries_.count(key) > 0) return;  // first writer wins
+    // A same-key insert already mid-flight shares the object's tmp file,
+    // so a second writer would race the publish rename. The key is
+    // content-addressed — the in-flight writer is storing these exact
+    // bytes — so the loser simply drops out.
+    if (!inflight_.insert(key).second) return;
   }
-  util::atomic_write_file(object_path(key), payload);
+  try {
+    util::atomic_write_file(object_path(key), payload);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    throw;
+  }
 
   obs::Json rec = obs::Json::object();
   rec["key"] = key_hex(key);
@@ -154,6 +191,7 @@ void ResultCache::insert(std::uint64_t key, std::string_view payload) {
   const std::string record = rec.dump();
 
   std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(key);
   if (entries_.count(key) > 0) return;  // lost a race; object is identical
   writer_->append(record);
   Entry entry;

@@ -25,6 +25,14 @@
 // never served. Duplicate index records for one key are legal (a
 // re-insert after corruption); the last record wins on replay.
 //
+// Single-writer contract: the index journal assumes exactly one process
+// appends to it. Opening the cache takes an exclusive flock on
+// `<dir>/lock`; a second process (e.g. two fleet workers misconfigured
+// to share one --cache dir) gets a typed IoError immediately instead of
+// silently interleaving index records. The lock is advisory, held for
+// the cache's lifetime, and released automatically on any process exit —
+// including SIGKILL — so a crashed daemon never wedges the directory.
+//
 // Thread safety: all methods are safe from concurrent request handlers;
 // the disk I/O of lookup()/insert() runs outside the map lock.
 #pragma once
@@ -33,6 +41,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -52,9 +61,12 @@ class ResultCache {
  public:
   /// Opens (or creates) the cache under `dir`, replaying the index
   /// journal and truncating any torn tail. Throws IoError when the
-  /// directory cannot be created/read and CorruptJournalError when the
-  /// index exists but is not a cache index at all.
+  /// directory cannot be created/read or when another process already
+  /// holds the cache (see the single-writer contract above), and
+  /// CorruptJournalError when the index exists but is not a cache index
+  /// at all.
   explicit ResultCache(const std::string& dir);
+  ~ResultCache();
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -82,9 +94,11 @@ class ResultCache {
   [[nodiscard]] std::string object_path(std::uint64_t key) const;
 
   std::string dir_;
+  int lock_fd_ = -1;  ///< exclusive flock on <dir>/lock
   std::optional<util::JournalWriter> writer_;
   mutable std::mutex mu_;
   std::map<std::uint64_t, Entry> entries_;
+  std::set<std::uint64_t> inflight_;  ///< keys mid-insert (tmp file owned)
   CacheStats stats_;
 };
 

@@ -1,78 +1,18 @@
 #include "service/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 
 #include "obs/json_report.h"
 #include "sdf/diagnostics.h"
+#include "service/transport.h"
 
 namespace sdf::svc {
-namespace {
-
-void send_all(int fd, std::string_view data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw IoError(std::string("client: send(): ") + std::strerror(errno));
-    }
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-}  // namespace
 
 Client::Client(const ClientOptions& options) {
-  if (!options.socket_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options.socket_path.size() >= sizeof(addr.sun_path)) {
-      throw BadArgumentError("client: socket path too long: " +
-                             options.socket_path);
-    }
-    std::memcpy(addr.sun_path, options.socket_path.c_str(),
-                options.socket_path.size() + 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-      throw IoError(std::string("client: socket(): ") + std::strerror(errno));
-    }
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) != 0) {
-      const std::string detail = std::strerror(errno);
-      ::close(fd_);
-      fd_ = -1;
-      throw IoError("client: cannot connect to " + options.socket_path +
-                    ": " + detail);
-    }
-    return;
-  }
-  if (options.tcp_port <= 0) {
-    throw BadArgumentError("client: no endpoint (need --socket or --port)");
-  }
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw IoError(std::string("client: socket(): ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0) {
-    const std::string detail = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw IoError("client: cannot connect to 127.0.0.1:" +
-                  std::to_string(options.tcp_port) + ": " + detail);
-  }
+  Endpoint ep;
+  ep.socket_path = options.socket_path;
+  ep.tcp_port = options.tcp_port;
+  fd_ = connect_endpoint(ep);
 }
 
 Client::~Client() {
@@ -80,29 +20,23 @@ Client::~Client() {
 }
 
 Frame Client::roundtrip(FrameKind kind, std::string_view payload) {
-  send_all(fd_, encode_frame(kind, payload));
-  std::string buffer;
-  char chunk[65536];
-  for (;;) {
-    Frame frame;
-    std::size_t consumed = 0;
-    const DecodeStatus st = decode_frame(buffer, &frame, &consumed);
-    if (st == DecodeStatus::kOk) return frame;
-    if (st != DecodeStatus::kNeedMore) {
-      throw IoError("client: malformed reply frame (" +
-                    std::string(decode_status_name(st)) + ")");
-    }
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw IoError(std::string("client: recv(): ") + std::strerror(errno));
-    }
-    if (n == 0) {
+  send_all_or_throw(fd_, encode_frame(kind, payload));
+  FrameReader reader;
+  Frame frame;
+  switch (reader.read(fd_, &frame)) {
+    case ReadOutcome::kFrame:
+      return frame;
+    case ReadOutcome::kClosed:
       throw IoError("client: connection closed mid-reply "
                     "(daemon draining or crashed?)");
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    case ReadOutcome::kBadFrame:
+      throw IoError("client: malformed reply frame (" +
+                    std::string(decode_status_name(reader.last_decode())) +
+                    ")");
+    case ReadOutcome::kTimeout:
+      break;  // unreachable: blocking read has no deadline
   }
+  throw IoError("client: reply timeout");
 }
 
 Result<std::string> Client::compile(const CompileRequest& request) {

@@ -1,0 +1,61 @@
+#include "service/hot_tier.h"
+
+#include "obs/counters.h"
+
+namespace sdf::svc {
+
+HotTier::HotTier(std::int64_t capacity_bytes)
+    : capacity_(capacity_bytes > 0 ? capacity_bytes : 0) {}
+
+std::optional<std::string> HotTier::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    obs::count("service.cache.hot_misses");
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
+  ++stats_.hits;
+  obs::count("service.cache.hot_hits");
+  return it->second->payload;
+}
+
+void HotTier::insert(std::uint64_t key, std::string_view payload) {
+  const auto size = static_cast<std::int64_t>(payload.size());
+  if (capacity_ <= 0 || size > capacity_) return;  // oversized/disabled
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;  // content-addressed: same key = same bytes
+  }
+  evict_to_fit_locked(size);
+  lru_.push_front(Entry{key, std::string(payload)});
+  index_[key] = lru_.begin();
+  stats_.bytes += size;
+  stats_.entries = static_cast<std::int64_t>(lru_.size());
+  ++stats_.inserts;
+  obs::count("service.cache.hot_inserts");
+  obs::gauge("service.cache.hot_bytes", stats_.bytes);
+}
+
+void HotTier::evict_to_fit_locked(std::int64_t incoming) {
+  while (!lru_.empty() && stats_.bytes + incoming > capacity_) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= static_cast<std::int64_t>(victim.payload.size());
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::count("service.cache.hot_evictions");
+  }
+  stats_.entries = static_cast<std::int64_t>(lru_.size());
+  obs::gauge("service.cache.hot_bytes", stats_.bytes);
+}
+
+HotTierStats HotTier::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sdf::svc

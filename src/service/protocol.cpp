@@ -42,7 +42,7 @@ Diagnostic bad_request(std::string message) {
 
 bool frame_kind_valid(std::uint8_t kind) noexcept {
   return kind >= static_cast<std::uint8_t>(FrameKind::kCompileRequest) &&
-         kind <= static_cast<std::uint8_t>(FrameKind::kStatsResponse);
+         kind <= static_cast<std::uint8_t>(FrameKind::kPeerInsertResponse);
 }
 
 std::string encode_frame(FrameKind kind, std::string_view payload) {
@@ -254,6 +254,93 @@ std::string key_hex(std::uint64_t key) {
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(key));
   return buf;
+}
+
+std::optional<std::uint64_t> parse_key_hex(std::string_view hex) noexcept {
+  if (hex.size() != 16) return std::nullopt;
+  std::uint64_t key = 0;
+  for (const char c : hex) {
+    key <<= 4;
+    if (c >= '0' && c <= '9') {
+      key |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      key |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return key;
+}
+
+namespace {
+
+constexpr std::string_view kPeerSchema = "sdfmem.peer.v1";
+
+/// Shared header validation for the two peer request payloads.
+Result<std::uint64_t> parse_peer_header(const obs::Json& doc,
+                                        std::string_view what) {
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != kPeerSchema) {
+    return bad_request(std::string(what) +
+                       ": missing or unknown schema (want sdfmem.peer.v1)");
+  }
+  const obs::Json* key = doc.find("key");
+  if (key == nullptr || key->type() != obs::Json::Type::kString) {
+    return bad_request(std::string(what) + ": missing key");
+  }
+  const std::optional<std::uint64_t> parsed = parse_key_hex(key->as_string());
+  if (!parsed) {
+    return bad_request(std::string(what) + ": key must be 16 lowercase "
+                       "hex chars");
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+std::string encode_peer_lookup(std::uint64_t key) {
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = std::string(kPeerSchema);
+  doc["key"] = key_hex(key);
+  return doc.dump();
+}
+
+Result<std::uint64_t> parse_peer_lookup(std::string_view payload) {
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(payload);
+  } catch (const std::exception& e) {
+    return bad_request(std::string("peer lookup: ") + e.what());
+  }
+  return parse_peer_header(doc, "peer lookup");
+}
+
+std::string encode_peer_insert(std::uint64_t key, std::string_view object) {
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = std::string(kPeerSchema);
+  doc["key"] = key_hex(key);
+  doc["object"] = std::string(object);
+  return doc.dump();
+}
+
+Result<PeerInsert> parse_peer_insert(std::string_view payload) {
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(payload);
+  } catch (const std::exception& e) {
+    return bad_request(std::string("peer insert: ") + e.what());
+  }
+  Result<std::uint64_t> key = parse_peer_header(doc, "peer insert");
+  if (!key.ok()) return key.error();
+  const obs::Json* object = doc.find("object");
+  if (object == nullptr || object->type() != obs::Json::Type::kString ||
+      object->as_string().empty()) {
+    return bad_request("peer insert: missing object bytes");
+  }
+  PeerInsert out;
+  out.key = key.value();
+  out.object = object->as_string();
+  return out;
 }
 
 }  // namespace sdf::svc

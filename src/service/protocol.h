@@ -31,9 +31,18 @@
 //                         same shape as `sdfmem_cli --json`
 //   * kPing / kPong     — payload echoed verbatim (health checks)
 //   * kStatsRequest / kStatsResponse — live server counters as JSON
+//   * kPeerLookup* / kPeerInsert* — fleet-internal cache peering
+//                         (docs/SERVICE.md "Fleet mode"): the router asks
+//                         a worker for its cached bytes by key, and warms
+//                         a shard owner with bytes another worker held.
+//                         Version negotiation is by behaviour, like the
+//                         v2 tenancy schema: a pre-fleet worker answers
+//                         these kinds with a bad-frame error and the
+//                         router falls back to plain compile forwarding.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -56,6 +65,10 @@ enum class FrameKind : std::uint8_t {
   kPong = 5,
   kStatsRequest = 6,
   kStatsResponse = 7,
+  kPeerLookupRequest = 8,
+  kPeerLookupResponse = 9,
+  kPeerInsertRequest = 10,
+  kPeerInsertResponse = 11,
 };
 
 /// True for the kinds above; decode rejects anything else.
@@ -125,6 +138,29 @@ struct CompileRequest {
 
 /// `key` as a fixed-width lowercase hex string (the on-disk object name).
 [[nodiscard]] std::string key_hex(std::uint64_t key);
+
+/// Inverse of key_hex: exactly 16 lowercase hex chars; nullopt otherwise.
+[[nodiscard]] std::optional<std::uint64_t> parse_key_hex(
+    std::string_view hex) noexcept;
+
+/// Fleet cache-peering payloads ("sdfmem.peer.v1", docs/SERVICE.md).
+/// A kPeerLookupRequest carries {"schema", "key"}; the response payload
+/// is the raw cached object bytes on a hit and empty on a miss (the
+/// cached document is never empty, so emptiness is unambiguous).
+/// A kPeerInsertRequest carries {"schema", "key", "object"}; the insert
+/// response payload is empty.
+[[nodiscard]] std::string encode_peer_lookup(std::uint64_t key);
+[[nodiscard]] Result<std::uint64_t> parse_peer_lookup(
+    std::string_view payload);
+
+struct PeerInsert {
+  std::uint64_t key = 0;
+  std::string object;  ///< the exact response-payload bytes to cache
+};
+
+[[nodiscard]] std::string encode_peer_insert(std::uint64_t key,
+                                             std::string_view object);
+[[nodiscard]] Result<PeerInsert> parse_peer_insert(std::string_view payload);
 
 /// Inverse of order_name / optimizer_name / the alloc fingerprint names;
 /// nullopt for unknown names.

@@ -1,0 +1,95 @@
+#include "service/ring.h"
+
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace sdf::svc {
+namespace {
+
+/// splitmix64 finalizer. FNV-1a avalanches poorly on short inputs — the
+/// high bits that drive the ring ordering barely move between "w1#3" and
+/// "w1#4", which clumps a worker's vnodes and wrecks the balance bound —
+/// so the ring mixes the FNV value before using it as a position.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t vnode_hash(std::string_view id, int k) {
+  // "id#k" hashed in two chained steps so the id bytes and the vnode
+  // ordinal cannot collide across different id lengths.
+  const std::uint64_t base = util::fnv1a64(id);
+  return mix64(util::fnv1a64("#" + std::to_string(k), base));
+}
+
+}  // namespace
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes > 0 ? vnodes : 1) {}
+
+void HashRing::add(const std::string& id) {
+  if (id.empty()) throw BadArgumentError("ring: empty worker id");
+  if (ids_.count(id) > 0) return;
+  ids_[id] = vnodes_;
+  for (int k = 0; k < vnodes_; ++k) {
+    // On the (astronomically unlikely) vnode hash collision the earlier
+    // id keeps the point; ownership stays deterministic either way.
+    points_.emplace(vnode_hash(id, k), id);
+  }
+}
+
+void HashRing::remove(const std::string& id) {
+  const auto it = ids_.find(id);
+  if (it == ids_.end()) return;
+  for (int k = 0; k < it->second; ++k) {
+    const auto p = points_.find(vnode_hash(id, k));
+    if (p != points_.end() && p->second == id) points_.erase(p);
+  }
+  ids_.erase(it);
+}
+
+bool HashRing::contains(std::string_view id) const {
+  return ids_.count(std::string(id)) > 0;
+}
+
+std::vector<std::string> HashRing::ids() const {
+  std::vector<std::string> out;
+  out.reserve(ids_.size());
+  for (const auto& [id, n] : ids_) out.push_back(id);
+  return out;
+}
+
+const std::string& HashRing::owner(std::uint64_t key) const {
+  if (points_.empty()) throw InternalError("ring: no workers");
+  auto it = points_.lower_bound(key);
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::string> HashRing::owners(std::uint64_t key,
+                                          std::size_t count) const {
+  std::vector<std::string> out;
+  if (points_.empty() || count == 0) return out;
+  count = std::min(count, ids_.size());
+  auto it = points_.lower_bound(key);
+  // Walk clockwise collecting distinct ids in first-seen order.
+  for (std::size_t steps = 0; steps < points_.size() && out.size() < count;
+       ++steps) {
+    if (it == points_.end()) it = points_.begin();
+    bool seen = false;
+    for (const std::string& id : out) {
+      if (id == it->second) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(it->second);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace sdf::svc

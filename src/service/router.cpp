@@ -1,0 +1,636 @@
+#include "service/router.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "obs/counters.h"
+#include "obs/json_report.h"
+#include "sdf/diagnostics.h"
+#include "sdf/io.h"
+#include "util/hash.h"
+#include "util/shutdown.h"
+
+namespace sdf::svc {
+namespace {
+
+/// Closes `fd` on scope exit unless released (moved to the caller).
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+  ~FdGuard() { close_fd(fd_); }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  void reset(int fd) noexcept {
+    close_fd(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<WorkerConfig> parse_worker_spec(std::string_view spec) {
+  const auto bad = [](std::string message) {
+    Diagnostic diag;
+    diag.code = ErrorCode::kBadArgument;
+    diag.message = std::move(message);
+    return diag;
+  };
+  WorkerConfig cfg;
+  std::string_view endpoint = spec;
+  const std::size_t at = spec.find('@');
+  if (at != std::string_view::npos) {
+    cfg.id = std::string(spec.substr(0, at));
+    cfg.pinned_id = true;
+    endpoint = spec.substr(at + 1);
+    if (cfg.id.empty()) {
+      return bad("--worker: empty id in '" + std::string(spec) + "'");
+    }
+  }
+  if (endpoint.empty()) {
+    return bad("--worker: empty endpoint in '" + std::string(spec) + "'");
+  }
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string_view digits = endpoint.substr(4);
+    int port = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9' || port > 65535) {
+        port = -1;
+        break;
+      }
+      port = port * 10 + (c - '0');
+    }
+    if (digits.empty() || port <= 0 || port > 65535) {
+      return bad("--worker: bad TCP port in '" + std::string(spec) + "'");
+    }
+    cfg.endpoint.tcp_port = port;
+  } else {
+    cfg.endpoint.socket_path = std::string(endpoint);
+  }
+  if (cfg.id.empty()) cfg.id = cfg.endpoint.name();
+  return cfg;
+}
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)), ring_(options_.vnodes) {
+  if (options_.workers.empty()) {
+    throw BadArgumentError("route: no workers configured (need --worker)");
+  }
+  if (options_.worker_timeout_ms <= 0) options_.worker_timeout_ms = 60000;
+  for (const WorkerConfig& cfg : options_.workers) {
+    if (workers_.count(cfg.id) > 0) {
+      throw BadArgumentError("route: duplicate worker id '" + cfg.id + "'");
+    }
+    WorkerState st;
+    st.cfg = cfg;
+    workers_.emplace(cfg.id, std::move(st));
+    ring_.add(cfg.id);
+  }
+}
+
+Router::~Router() {
+  stop();
+  if (health_.joinable()) health_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+}
+
+bool Router::stop_requested() const noexcept {
+  return stop_.load(std::memory_order_relaxed) || util::shutdown_requested();
+}
+
+void Router::stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+void Router::start() {
+  if (options_.socket_path.empty() && options_.tcp_port == 0) {
+    throw BadArgumentError("route: no listener configured "
+                           "(need --socket and/or --port)");
+  }
+  if (!options_.socket_path.empty()) {
+    unix_fd_ = listen_unix(options_.socket_path);
+  }
+  if (options_.tcp_port != 0) {
+    try {
+      tcp_fd_ = listen_tcp(options_.tcp_port, &bound_tcp_port_);
+    } catch (...) {
+      close_fd(unix_fd_);
+      throw;
+    }
+  }
+  if (options_.health_interval_ms > 0) {
+    health_ = std::thread([this] { health_loop(); });
+  }
+}
+
+void Router::run() {
+  while (!stop_requested()) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    if (unix_fd_ >= 0) fds[nfds++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[nfds++] = pollfd{tcp_fd_, POLLIN, 0};
+    const int r = ::poll(fds, nfds, 50);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.connections;
+      }
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.emplace_back([this, conn] { serve_connection(conn); });
+    }
+  }
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+}
+
+void Router::serve_connection(int fd) {
+  FrameReader reader;
+  for (;;) {
+    Frame frame;
+    const ReadOutcome rc = reader.read(fd, &frame, 50);
+    if (rc == ReadOutcome::kFrame) {
+      try {
+        handle_frame(fd, frame);
+      } catch (const std::exception& e) {
+        // Backstop mirroring Server::serve_connection: a throwing
+        // handler answers typed instead of terminating the router.
+        send_error(fd, diagnostic_from_exception(e));
+      }
+      continue;
+    }
+    if (rc == ReadOutcome::kTimeout) {
+      if (stop_requested()) break;
+      continue;
+    }
+    if (rc == ReadOutcome::kClosed) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.bad_frames;
+    }
+    obs::count("service.route.bad_frames");
+    Diagnostic diag;
+    diag.code = ErrorCode::kBadArgument;
+    diag.message =
+        "bad frame: " + std::string(decode_status_name(reader.last_decode())) +
+        " (protocol SDFSVC1, see docs/SERVICE.md)";
+    send_error(fd, diag);
+    break;
+  }
+  ::close(fd);
+}
+
+void Router::handle_frame(int fd, const Frame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kPing:
+      send_frame(fd, FrameKind::kPong, frame.payload);
+      return;
+    case FrameKind::kStatsRequest:
+      send_frame(fd, FrameKind::kStatsResponse, stats_json());
+      return;
+    case FrameKind::kCompileRequest:
+      handle_route(fd, frame.payload);
+      return;
+    default: {
+      Diagnostic diag;
+      diag.code = ErrorCode::kBadArgument;
+      diag.message = "unexpected frame kind " +
+                     std::to_string(static_cast<int>(frame.kind)) +
+                     " (router accepts compile/ping/stats requests)";
+      send_error(fd, diag);
+      return;
+    }
+  }
+}
+
+void Router::handle_route(int fd, std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  obs::count("service.route.requests");
+
+  // The router rejects what every worker would reject — same parser —
+  // instead of burning a forward on a malformed request.
+  Result<CompileRequest> parsed = parse_compile_request(payload);
+  if (!parsed.ok()) {
+    send_error(fd, parsed.error());
+    return;
+  }
+  const CompileRequest& req = parsed.value();
+
+  // Shard key: the worker's exact cache key when the graph parses, the
+  // raw-text hash otherwise (sticky routing for the parse error too).
+  std::uint64_t key = 0;
+  bool have_cache_key = false;
+  try {
+    const Graph g = parse_graph_text(req.graph_text);
+    key = cache_key(write_graph_text(g), option_fingerprint(req));
+    have_cache_key = true;
+  } catch (const std::exception&) {
+    key = util::fnv1a64(req.graph_text);
+  }
+  route_with_failover(fd, payload, key, have_cache_key);
+}
+
+std::vector<std::string> Router::live_preference(std::uint64_t key) const {
+  const std::vector<std::string> order = ring_.owners(key, workers_.size());
+  std::vector<std::string> live;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& id : order) {
+    const auto it = workers_.find(id);
+    if (it != workers_.end() && it->second.alive) live.push_back(id);
+  }
+  return live;
+}
+
+void Router::route_with_failover(int fd, std::string_view payload,
+                                 std::uint64_t key, bool have_cache_key) {
+  // Each failed attempt marks its owner dead, so at most one attempt per
+  // configured worker — the loop cannot spin.
+  for (std::size_t attempt = 0; attempt < options_.workers.size();
+       ++attempt) {
+    const std::vector<std::string> live = live_preference(key);
+    if (live.empty()) break;
+    const std::string& owner = live.front();
+    const int raw_fd = worker_connect(owner);
+    if (raw_fd < 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rerouted;
+      obs::count("service.route.rerouted");
+      continue;
+    }
+    FdGuard wfd(raw_fd);
+
+    bool owner_peer_support;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      owner_peer_support = workers_[owner].peer_support;
+    }
+
+    if (have_cache_key && owner_peer_support) {
+      const std::optional<Frame> reply =
+          worker_roundtrip(wfd.get(), FrameKind::kPeerLookupRequest,
+                           encode_peer_lookup(key));
+      if (!reply.has_value()) {
+        mark_dead(owner);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rerouted;
+        obs::count("service.route.rerouted");
+        continue;
+      }
+      if (reply->kind == FrameKind::kPeerLookupResponse &&
+          !reply->payload.empty()) {
+        // Shard hit: the owner's cache already had the bytes.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.lookup_hits;
+        }
+        obs::count("service.route.lookup_hits");
+        send_frame(fd, FrameKind::kCompileResponse, reply->payload);
+        return;
+      }
+      if (reply->kind == FrameKind::kErrorResponse) {
+        // Pre-fleet worker: it answered the peer frame with a bad-frame
+        // error and closed the connection. Remember, reconnect, and fall
+        // back to plain forwarding for this worker from now on.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          workers_[owner].peer_support = false;
+        }
+        owner_peer_support = false;
+        const int refd = worker_connect(owner);
+        if (refd < 0) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.rerouted;
+          obs::count("service.route.rerouted");
+          continue;
+        }
+        wfd.reset(refd);
+      } else if (reply->kind != FrameKind::kPeerLookupResponse) {
+        mark_dead(owner);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rerouted;
+        obs::count("service.route.rerouted");
+        continue;
+      } else {
+        // Shard miss. Probe the remaining live workers: a peer that
+        // cached this key serves the client immediately and warms the
+        // owner so the shard heals.
+        for (std::size_t p = 1; p < live.size(); ++p) {
+          const std::string& peer = live[p];
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = workers_.find(peer);
+            if (it == workers_.end() || !it->second.alive ||
+                !it->second.peer_support) {
+              continue;
+            }
+          }
+          const int praw = worker_connect(peer);
+          if (praw < 0) continue;
+          FdGuard pfd(praw);
+          const std::optional<Frame> probe =
+              worker_roundtrip(pfd.get(), FrameKind::kPeerLookupRequest,
+                               encode_peer_lookup(key));
+          if (!probe.has_value()) {
+            mark_dead(peer);
+            continue;
+          }
+          if (probe->kind == FrameKind::kErrorResponse) {
+            std::lock_guard<std::mutex> lock(mu_);
+            workers_[peer].peer_support = false;
+            continue;
+          }
+          if (probe->kind != FrameKind::kPeerLookupResponse ||
+              probe->payload.empty()) {
+            continue;
+          }
+          // Peer hit: warm the owner on the connection we already hold,
+          // THEN relay to the client. Ordering matters — once the client
+          // sees this reply, the shard owner is guaranteed to answer the
+          // next lookup itself (no window where a follow-up request
+          // re-probes peers). The warm is durable on the owner before
+          // its ack. A failed warm still serves the client; the next
+          // request just probes again.
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.peer_hits;
+          }
+          obs::count("service.route.peer_hits");
+          const std::optional<Frame> warm = worker_roundtrip(
+              wfd.get(), FrameKind::kPeerInsertRequest,
+              encode_peer_insert(key, probe->payload));
+          if (warm.has_value() &&
+              warm->kind == FrameKind::kPeerInsertResponse) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.warms;
+            obs::count("service.route.warms");
+          } else if (!warm.has_value()) {
+            mark_dead(owner);
+          }
+          send_frame(fd, FrameKind::kCompileResponse, probe->payload);
+          return;
+        }
+      }
+    }
+
+    // Cold path: forward the full compile to the owner and relay the
+    // reply verbatim — worker-typed errors (overloaded, unknown tenant,
+    // parse...) reach the client exactly as a direct connection would.
+    const std::optional<Frame> reply =
+        worker_roundtrip(wfd.get(), FrameKind::kCompileRequest, payload);
+    if (!reply.has_value()) {
+      mark_dead(owner);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rerouted;
+      obs::count("service.route.rerouted");
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.compiles;
+      ++workers_[owner].forwarded;
+    }
+    obs::count("service.route.compiles");
+    send_frame(fd, reply->kind, reply->payload);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.unavailable;
+  }
+  obs::count("service.route.unavailable");
+  Diagnostic diag;
+  diag.code = ErrorCode::kUnavailable;
+  diag.message = "no live worker: all " +
+                 std::to_string(options_.workers.size()) +
+                 " configured workers are unreachable; retry once the "
+                 "fleet recovers (docs/SERVICE.md \"Fleet mode\")";
+  send_error(fd, diag);
+}
+
+std::optional<Frame> Router::worker_roundtrip(int wfd, FrameKind kind,
+                                              std::string_view payload) {
+  if (!send_all(wfd, encode_frame(kind, payload))) return std::nullopt;
+  FrameReader reader;
+  Frame frame;
+  if (reader.read(wfd, &frame, options_.worker_timeout_ms) !=
+      ReadOutcome::kFrame) {
+    return std::nullopt;
+  }
+  return frame;
+}
+
+int Router::worker_connect(const std::string& id) {
+  Endpoint ep;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = workers_.find(id);
+    if (it == workers_.end()) return -1;
+    ep = it->second.cfg.endpoint;
+  }
+  try {
+    return connect_endpoint(ep);
+  } catch (const std::exception&) {
+    mark_dead(id);
+    return -1;
+  }
+}
+
+void Router::mark_dead(const std::string& id) {
+  bool transition = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = workers_.find(id);
+    if (it == workers_.end()) return;
+    ++it->second.failures;
+    if (it->second.alive) {
+      it->second.alive = false;
+      ++stats_.worker_down;
+      transition = true;
+    }
+    note_workers_alive_locked();
+  }
+  if (transition) obs::count("service.route.worker_down");
+}
+
+void Router::mark_alive(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = workers_.find(id);
+  if (it == workers_.end() || it->second.alive) return;
+  it->second.alive = true;
+  note_workers_alive_locked();
+}
+
+void Router::note_workers_alive_locked() {
+  std::int64_t alive = 0;
+  for (const auto& [id, st] : workers_) {
+    if (st.alive) ++alive;
+  }
+  obs::gauge("service.route.workers_alive", alive);
+}
+
+void Router::health_loop() {
+  while (!stop_requested()) {
+    health_check_once();
+    // Sleep in 20 ms slices so stop() is honoured promptly.
+    for (int waited = 0;
+         waited < options_.health_interval_ms && !stop_requested();
+         waited += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+void Router::health_check_once() {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(workers_.size());
+    for (const auto& [id, st] : workers_) ids.push_back(id);
+  }
+  for (const std::string& id : ids) {
+    if (stop_requested()) return;
+    const int raw_fd = worker_connect(id);
+    if (raw_fd < 0) continue;  // already marked dead
+    FdGuard wfd(raw_fd);
+    if (!send_all(wfd.get(),
+                  encode_frame(FrameKind::kStatsRequest, ""))) {
+      mark_dead(id);
+      continue;
+    }
+    FrameReader reader;
+    Frame frame;
+    // Health probes use a short deadline: a stats reply is cheap, and a
+    // worker that cannot produce one inside 2 s is not routable.
+    const int probe_ms = std::min(options_.worker_timeout_ms, 2000);
+    if (reader.read(wfd.get(), &frame, probe_ms) != ReadOutcome::kFrame ||
+        frame.kind != FrameKind::kStatsResponse) {
+      mark_dead(id);
+      continue;
+    }
+    bool pinned = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = workers_.find(id);
+      if (it != workers_.end()) pinned = it->second.cfg.pinned_id;
+    }
+    if (pinned) {
+      // Identity check: a socket answered by a *different* worker (e.g.
+      // a path reused by another fleet) is down, not routed to.
+      std::string reported;
+      try {
+        const obs::Json doc = obs::Json::parse(frame.payload);
+        if (const obs::Json* wid = doc.find("worker_id")) {
+          reported = wid->as_string();
+        }
+      } catch (const std::exception&) {
+        // Not a stats document — treat as unhealthy below.
+        reported = "\x01not-stats";
+      }
+      if (!reported.empty() && reported != id) {
+        mark_dead(id);
+        continue;
+      }
+    }
+    mark_alive(id);
+  }
+}
+
+void Router::send_frame(int fd, FrameKind kind, std::string_view payload) {
+  send_all(fd, encode_frame(kind, payload));
+}
+
+void Router::send_error(int fd, const Diagnostic& diag) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.errors;
+  }
+  obs::count("service.route.errors");
+  obs::Json doc = obs::Json::object();
+  doc["error"] = diagnostic_to_json(diag);
+  send_frame(fd, FrameKind::kErrorResponse, doc.dump(2));
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RouterStats out = stats_;
+  for (const auto& [id, st] : workers_) {
+    RouterWorkerStats ws;
+    ws.endpoint = st.cfg.endpoint.name();
+    ws.alive = st.alive;
+    ws.peer_support = st.peer_support;
+    ws.forwarded = st.forwarded;
+    ws.failures = st.failures;
+    out.workers.emplace(id, std::move(ws));
+  }
+  return out;
+}
+
+std::string Router::stats_json() const {
+  const RouterStats snapshot = stats();
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "sdfmem.routestats.v1";
+  doc["requests"] = snapshot.requests;
+  doc["connections"] = snapshot.connections;
+  doc["bad_frames"] = snapshot.bad_frames;
+  doc["errors"] = snapshot.errors;
+  doc["lookup_hits"] = snapshot.lookup_hits;
+  doc["peer_hits"] = snapshot.peer_hits;
+  doc["warms"] = snapshot.warms;
+  doc["compiles"] = snapshot.compiles;
+  doc["rerouted"] = snapshot.rerouted;
+  doc["unavailable"] = snapshot.unavailable;
+  doc["worker_down"] = snapshot.worker_down;
+  std::int64_t alive = 0;
+  obs::Json workers = obs::Json::object();
+  for (const auto& [id, ws] : snapshot.workers) {
+    if (ws.alive) ++alive;
+    obs::Json w = obs::Json::object();
+    w["endpoint"] = ws.endpoint;
+    w["alive"] = ws.alive;
+    w["peer_support"] = ws.peer_support;
+    w["forwarded"] = ws.forwarded;
+    w["failures"] = ws.failures;
+    workers[id] = std::move(w);
+  }
+  doc["workers_alive"] = alive;
+  doc["workers"] = std::move(workers);
+  return doc.dump(2);
+}
+
+}  // namespace sdf::svc

@@ -1,0 +1,196 @@
+// Fleet router: shard-routed forwarding over N sdfmemd workers
+// (docs/SERVICE.md, "Fleet mode").
+//
+// The router speaks the same SDFSVC1 protocol as a worker, so existing
+// clients point at it unchanged. For every compile request it:
+//
+//   1. derives the shard key — the request's content-addressed cache key
+//      (canonical graph x option fingerprint), the same value the worker
+//      would compute, so routing and caching agree byte-for-byte. A
+//      request whose graph does not parse is routed by the raw-text hash
+//      instead: it still lands deterministically on one worker, which
+//      produces the structured parse error.
+//   2. asks the shard owner (ring.h, first live worker clockwise from
+//      the key) for its cached bytes (kPeerLookupRequest). Hit: the
+//      response is relayed and the request never queues for a compile.
+//   3. on a shard miss, probes the other live workers for the key; a
+//      peer hit is relayed to the client AND warmed into the owner
+//      (kPeerInsertRequest), so subsequent requests hit at step 2. This
+//      is how the fleet heals after resizes and worker replacement.
+//   4. otherwise forwards the full compile request to the owner and
+//      relays the reply verbatim — compile responses and typed errors
+//      (overloaded, unknown-tenant, parse...) pass through unchanged, so
+//      per-tenant admission keeps working per worker.
+//
+// Failure semantics — degrade, never hang: every worker round-trip has a
+// deadline (`worker_timeout_ms`). A connect failure, torn reply, or
+// timeout marks the worker dead and the request re-routes to the next
+// live worker on the ring (counted in `rerouted`); each attempt removes
+// a worker, so the loop terminates. When no live worker remains the
+// client gets a typed `unavailable` diagnostic (ErrorCode::kUnavailable,
+// exit 26) — an error frame, not a stalled connection. A health thread
+// re-probes every worker each `health_interval_ms` via stats frames, so
+// a restarted worker rejoins automatically; when the worker reports a
+// `worker_id` and the spec pinned one, a mismatch counts as down
+// (mis-wired socket, not routed to). Pre-fleet workers that answer peer
+// frames with an error are remembered as `peer_support = false` and
+// served by plain forwarding — version negotiation by behaviour, like
+// the v2 tenancy schema.
+//
+// Counters (docs/OBSERVABILITY.md): service.route.requests /
+// lookup_hits / peer_hits / warms / compiles / rerouted / worker_down /
+// unavailable, gauge service.route.workers_alive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/ring.h"
+#include "service/transport.h"
+
+namespace sdf::svc {
+
+struct WorkerConfig {
+  std::string id;     ///< ring identity; defaults to the endpoint name
+  Endpoint endpoint;
+  /// True when the spec pinned the id ("id@endpoint"): the health check
+  /// then verifies the worker's reported worker_id against it.
+  bool pinned_id = false;
+};
+
+/// Parses a --worker spec: "[id@]{path | tcp:PORT}". The id defaults to
+/// the endpoint name. kBadArgument diagnostic on malformed specs.
+[[nodiscard]] Result<WorkerConfig> parse_worker_spec(std::string_view spec);
+
+struct RouterOptions {
+  /// Listeners, same convention as ServerOptions.
+  std::string socket_path;
+  int tcp_port = 0;
+  std::vector<WorkerConfig> workers;
+  /// Virtual nodes per worker on the hash ring.
+  int vnodes = 64;
+  /// Health-probe period. <= 0 disables the background prober (failures
+  /// are still detected inline and recovery needs a restart — tests
+  /// only).
+  int health_interval_ms = 250;
+  /// Deadline for any single worker round-trip (connect + reply). A
+  /// compile slower than this is treated as a dead worker and re-routed;
+  /// generous by default because the re-route recompiles from scratch.
+  int worker_timeout_ms = 60000;
+};
+
+struct RouterWorkerStats {
+  std::string endpoint;
+  bool alive = true;
+  bool peer_support = true;
+  std::int64_t forwarded = 0;  ///< compile requests sent to this worker
+  std::int64_t failures = 0;   ///< connect/timeout/torn-reply events
+};
+
+struct RouterStats {
+  std::int64_t requests = 0;
+  std::int64_t connections = 0;
+  std::int64_t bad_frames = 0;
+  std::int64_t errors = 0;       ///< error frames the router itself sent
+  std::int64_t lookup_hits = 0;  ///< served from the shard owner's cache
+  std::int64_t peer_hits = 0;    ///< served from a non-owner peer's cache
+  std::int64_t warms = 0;        ///< successful owner warm inserts
+  std::int64_t compiles = 0;     ///< full compiles forwarded
+  std::int64_t rerouted = 0;     ///< owner failed mid-request, retried
+  std::int64_t unavailable = 0;  ///< requests failed: no live worker
+  std::int64_t worker_down = 0;  ///< alive -> dead transitions
+  std::map<std::string, RouterWorkerStats> workers;
+};
+
+class Router {
+ public:
+  /// Throws BadArgumentError when `workers` is empty or ids collide.
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds listeners and starts the health thread. Same error contract
+  /// as Server::start().
+  void start();
+
+  /// Accept loop; returns after a graceful drain (stop() or the process
+  /// shutdown flag).
+  void run();
+
+  void stop() noexcept;
+
+  [[nodiscard]] int tcp_port() const noexcept { return bound_tcp_port_; }
+
+  [[nodiscard]] RouterStats stats() const;
+
+  /// Live stats as the kStatsResponse payload ("sdfmem.routestats.v1").
+  [[nodiscard]] std::string stats_json() const;
+
+  /// The configured shard owner for a key, ignoring liveness (tests and
+  /// capacity planning; requests use the live-failover order).
+  [[nodiscard]] const std::string& shard_owner(std::uint64_t key) const {
+    return ring_.owner(key);
+  }
+
+ private:
+  struct WorkerState {
+    WorkerConfig cfg;
+    bool alive = true;
+    bool peer_support = true;
+    std::int64_t forwarded = 0;
+    std::int64_t failures = 0;
+  };
+
+  [[nodiscard]] bool stop_requested() const noexcept;
+  void serve_connection(int fd);
+  void handle_frame(int fd, const Frame& frame);
+  void handle_route(int fd, std::string_view payload);
+  /// The failover body of handle_route once the shard key is known.
+  void route_with_failover(int fd, std::string_view payload,
+                           std::uint64_t key, bool have_cache_key);
+  void send_frame(int fd, FrameKind kind, std::string_view payload);
+  void send_error(int fd, const Diagnostic& diag);
+
+  /// One bounded round-trip on an open worker connection; nullopt on
+  /// send failure, torn reply, or timeout (caller marks the worker dead).
+  [[nodiscard]] std::optional<Frame> worker_roundtrip(
+      int wfd, FrameKind kind, std::string_view payload);
+  /// Connects to a worker; -1 on failure (already marked dead).
+  [[nodiscard]] int worker_connect(const std::string& id);
+  void mark_dead(const std::string& id);
+  void mark_alive(const std::string& id);
+  void note_workers_alive_locked();
+  /// Live workers in failover preference order for `key`.
+  [[nodiscard]] std::vector<std::string> live_preference(
+      std::uint64_t key) const;
+  void health_loop();
+  void health_check_once();
+
+  RouterOptions options_;
+  HashRing ring_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::thread health_;
+
+  mutable std::mutex mu_;  ///< workers_ + stats_
+  std::map<std::string, WorkerState> workers_;
+  RouterStats stats_;
+};
+
+}  // namespace sdf::svc

@@ -1,15 +1,11 @@
 #include "service/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <future>
 #include <utility>
 
@@ -18,6 +14,7 @@
 #include "obs/trace.h"
 #include "sdf/diagnostics.h"
 #include "sdf/io.h"
+#include "service/transport.h"
 #include "util/shutdown.h"
 
 namespace sdf::svc {
@@ -32,27 +29,6 @@ int optimizer_rank(LoopOptimizer opt) noexcept {
     case LoopOptimizer::kFlat: return 0;
   }
   return 0;
-}
-
-void close_fd(int& fd) noexcept {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
-}
-
-bool send_all(int fd, std::string_view data) noexcept {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // peer went away; nothing sensible to do
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 }  // namespace
@@ -81,7 +57,10 @@ std::int64_t LatencyHistogram::percentile_us(double p) const noexcept {
 
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.default_cost_ms <= 0) options_.default_cost_ms = 1;
-  if (!options_.cache_dir.empty()) cache_.emplace(options_.cache_dir);
+  if (!options_.cache_dir.empty()) {
+    cache_.emplace(options_.cache_dir);
+    if (options_.hot_tier_bytes > 0) hot_.emplace(options_.hot_tier_bytes);
+  }
   const int workers = util::ThreadPool::resolve_jobs(options_.jobs);
   pool_ = std::make_unique<util::ThreadPool>(workers);
   qos::AdmissionController::Options aopts;
@@ -117,56 +96,14 @@ void Server::start() {
                            "(need --socket and/or --port)");
   }
   if (!options_.socket_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-      throw BadArgumentError("serve: socket path too long: " +
-                             options_.socket_path);
-    }
-    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-                options_.socket_path.size() + 1);
-    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (unix_fd_ < 0) {
-      throw IoError(std::string("serve: socket(): ") + std::strerror(errno));
-    }
-    ::unlink(options_.socket_path.c_str());  // replace a stale socket
-    if (::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof addr) != 0 ||
-        ::listen(unix_fd_, 64) != 0) {
-      const std::string detail = std::strerror(errno);
-      close_fd(unix_fd_);
-      throw IoError("serve: cannot listen on " + options_.socket_path +
-                    ": " + detail);
-    }
+    unix_fd_ = listen_unix(options_.socket_path);
   }
   if (options_.tcp_port != 0) {
-    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (tcp_fd_ < 0) {
+    try {
+      tcp_fd_ = listen_tcp(options_.tcp_port, &bound_tcp_port_);
+    } catch (...) {
       close_fd(unix_fd_);
-      throw IoError(std::string("serve: socket(): ") + std::strerror(errno));
-    }
-    const int one = 1;
-    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port =
-        htons(options_.tcp_port > 0
-                  ? static_cast<std::uint16_t>(options_.tcp_port)
-                  : 0);
-    if (::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof addr) != 0 ||
-        ::listen(tcp_fd_, 64) != 0) {
-      const std::string detail = std::strerror(errno);
-      close_fd(unix_fd_);
-      close_fd(tcp_fd_);
-      throw IoError("serve: cannot listen on loopback TCP: " + detail);
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof bound;
-    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-        0) {
-      bound_tcp_port_ = ntohs(bound.sin_port);
+      throw;
     }
   }
 }
@@ -215,46 +152,42 @@ void Server::run() {
 }
 
 void Server::serve_connection(int fd) {
-  std::string buffer;
-  char chunk[65536];
+  // The 50 ms read timeout is the drain-check tick: buffered frames are
+  // always decoded and answered first (FrameReader drains its buffer
+  // before polling), so requests received before shutdown still get
+  // their responses.
+  FrameReader reader;
   for (;;) {
-    // Process every complete frame already buffered — including during a
-    // drain, so requests received before shutdown still get answers.
-    for (;;) {
-      Frame frame;
-      std::size_t consumed = 0;
-      const DecodeStatus st = decode_frame(buffer, &frame, &consumed);
-      if (st == DecodeStatus::kOk) {
-        buffer.erase(0, consumed);
+    Frame frame;
+    const ReadOutcome rc = reader.read(fd, &frame, 50);
+    if (rc == ReadOutcome::kFrame) {
+      try {
         handle_frame(fd, frame);
-        continue;
+      } catch (const std::exception& e) {
+        // Backstop: a handler that throws (cache IO, disk full) answers
+        // with a typed error instead of taking the whole daemon down
+        // via an exception escaping this thread.
+        send_error(fd, diagnostic_from_exception(e));
       }
-      if (st == DecodeStatus::kNeedMore) break;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.bad_frames;
-      }
-      obs::count("service.bad_frames");
-      Diagnostic diag;
-      diag.code = ErrorCode::kBadArgument;
-      diag.message =
-          "bad frame: " + std::string(decode_status_name(st)) +
-          " (protocol SDFSVC1, see docs/SERVICE.md)";
-      send_error(fd, diag);
-      ::close(fd);
-      return;
+      continue;
     }
-    if (stop_requested()) break;
-    pollfd p{fd, POLLIN, 0};
-    const int r = ::poll(&p, 1, 50);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      break;
+    if (rc == ReadOutcome::kTimeout) {
+      if (stop_requested()) break;
+      continue;
     }
-    if (r == 0) continue;
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;  // EOF or error — client is done
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (rc == ReadOutcome::kClosed) break;  // EOF — client is done
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.bad_frames;
+    }
+    obs::count("service.bad_frames");
+    Diagnostic diag;
+    diag.code = ErrorCode::kBadArgument;
+    diag.message =
+        "bad frame: " + std::string(decode_status_name(reader.last_decode())) +
+        " (protocol SDFSVC1, see docs/SERVICE.md)";
+    send_error(fd, diag);
+    break;
   }
   ::close(fd);
 }
@@ -269,6 +202,12 @@ void Server::handle_frame(int fd, const Frame& frame) {
       return;
     case FrameKind::kCompileRequest:
       handle_compile(fd, frame.payload);
+      return;
+    case FrameKind::kPeerLookupRequest:
+      handle_peer_lookup(fd, frame.payload);
+      return;
+    case FrameKind::kPeerInsertRequest:
+      handle_peer_insert(fd, frame.payload);
       return;
     default: {
       Diagnostic diag;
@@ -355,7 +294,7 @@ void Server::handle_compile(int fd, std::string_view payload) {
   const std::uint64_t key = cache_key(canonical, fingerprint);
 
   if (cache_.has_value()) {
-    if (std::optional<std::string> hit = cache_->lookup(key)) {
+    if (std::optional<std::string> hit = cache_fetch(key)) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.cache_hits;
@@ -543,7 +482,7 @@ void Server::handle_compile(int fd, std::string_view payload) {
                  tenant_settings->cache_quota_bytes;
     }
     if (quota_ok) {
-      cache_->insert(key, response);
+      cache_store(key, response);
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.tenants[tenant].cache_inserts;
@@ -566,6 +505,77 @@ void Server::handle_compile(int fd, std::string_view payload) {
   }
   send_frame(fd, FrameKind::kCompileResponse, response);
   finish();
+}
+
+std::optional<std::string> Server::cache_fetch(std::uint64_t key) {
+  if (hot_.has_value()) {
+    if (std::optional<std::string> hit = hot_->lookup(key)) return hit;
+  }
+  if (!cache_.has_value()) return std::nullopt;
+  std::optional<std::string> hit = cache_->lookup(key);
+  // A verified disk read warms the hot tier, so the next read for this
+  // key never touches the filesystem. Bytes are identical by
+  // construction: the hot tier only ever holds what the disk tier
+  // returned (or what was just durably inserted).
+  if (hit.has_value() && hot_.has_value()) hot_->insert(key, *hit);
+  return hit;
+}
+
+void Server::cache_store(std::uint64_t key, std::string_view payload) {
+  if (cache_.has_value()) cache_->insert(key, payload);
+  if (hot_.has_value()) hot_->insert(key, payload);
+}
+
+// Fleet peering (docs/SERVICE.md "Fleet mode"): the router asks this
+// worker for cached bytes by key. Peer lookups must stay cheap — they
+// are on the router's critical path for every shard hit — so they go
+// straight to the cache tiers and never touch admission or tenancy (the
+// cached document is tenant-independent by the cache-key contract).
+void Server::handle_peer_lookup(int fd, std::string_view payload) {
+  const Result<std::uint64_t> key = parse_peer_lookup(payload);
+  if (!key.ok()) {
+    send_error(fd, key.error());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.peer_lookups;
+  }
+  obs::count("service.peer.lookups");
+  std::optional<std::string> hit = cache_fetch(key.value());
+  if (hit.has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.peer_lookup_hits;
+  }
+  // Miss = empty payload; cached documents are never empty.
+  send_frame(fd, FrameKind::kPeerLookupResponse,
+             hit.has_value() ? *hit : std::string_view{});
+}
+
+// Warm insert: the router found the bytes on another worker and hands
+// them to this shard owner. Only ever called with bytes that came out of
+// a peer's verified cache, so full-fidelity by the cache contract; the
+// insert is durable (disk tier) before the ack.
+void Server::handle_peer_insert(int fd, std::string_view payload) {
+  const Result<PeerInsert> parsed = parse_peer_insert(payload);
+  if (!parsed.ok()) {
+    send_error(fd, parsed.error());
+    return;
+  }
+  if (!cache_.has_value()) {
+    Diagnostic diag;
+    diag.code = ErrorCode::kBadArgument;
+    diag.message = "peer insert: this worker runs without a cache";
+    send_error(fd, diag);
+    return;
+  }
+  cache_store(parsed.value().key, parsed.value().object);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.peer_inserts;
+  }
+  obs::count("service.peer.inserts");
+  send_frame(fd, FrameKind::kPeerInsertResponse, "");
 }
 
 void Server::send_frame(int fd, FrameKind kind, std::string_view payload) {
@@ -613,6 +623,7 @@ std::string Server::stats_json() const {
   const std::int64_t depth = admission_->total_depth();
   obs::Json doc = obs::Json::object();
   doc["schema"] = "sdfmem.stats.v1";
+  if (!options_.worker_id.empty()) doc["worker_id"] = options_.worker_id;
   doc["requests"] = snapshot.requests;
   doc["responses_ok"] = snapshot.responses_ok;
   doc["errors"] = snapshot.errors;
@@ -626,13 +637,28 @@ std::string Server::stats_json() const {
   obs::Json cache = obs::Json::object();
   if (cache_.has_value()) {
     const CacheStats cs = cache_->stats();
-    cache["hits"] = cs.hits;
+    const HotTierStats hs =
+        hot_.has_value() ? hot_->stats() : HotTierStats{};
+    // "hits" keeps its pre-fleet meaning — served from cache, whichever
+    // tier — so dashboards and the CI smoke asserts survive the split.
+    cache["hits"] = cs.hits + hs.hits;
     cache["misses"] = cs.misses;
     cache["inserts"] = cs.inserts;
     cache["corrupt"] = cs.corrupt;
     cache["entries"] = cs.entries;
+    cache["hot_hits"] = hs.hits;
+    cache["hot_misses"] = hs.misses;
+    cache["hot_inserts"] = hs.inserts;
+    cache["hot_evictions"] = hs.evictions;
+    cache["hot_bytes"] = hs.bytes;
+    cache["hot_entries"] = hs.entries;
   }
   doc["cache"] = std::move(cache);
+  obs::Json peer = obs::Json::object();
+  peer["lookups"] = snapshot.peer_lookups;
+  peer["lookup_hits"] = snapshot.peer_lookup_hits;
+  peer["inserts"] = snapshot.peer_inserts;
+  doc["peer"] = std::move(peer);
   obs::Json latency = obs::Json::object();
   latency["count"] = snapshot.latency.count;
   latency["sum_us"] = snapshot.latency.sum_us;

@@ -70,6 +70,7 @@
 
 #include "pipeline/governor.h"
 #include "service/cache.h"
+#include "service/hot_tier.h"
 #include "service/protocol.h"
 #include "service/qos.h"
 #include "util/thread_pool.h"
@@ -85,6 +86,15 @@ struct ServerOptions {
   int tcp_port = 0;
   /// Result-cache directory; empty runs without a cache.
   std::string cache_dir;
+  /// In-memory LRU hot tier over the disk cache (service/hot_tier.h);
+  /// bytes of response payloads kept resident. 0 disables the tier.
+  /// Only meaningful with a cache_dir — the hot tier fronts the store.
+  std::int64_t hot_tier_bytes = 32ll << 20;
+  /// Stable identity reported in stats_json() ("worker_id"); the fleet
+  /// router health-checks it against its configuration so a socket that
+  /// was taken over by a different worker is caught, not routed to.
+  /// Empty (the default) omits the field.
+  std::string worker_id;
   /// Compile worker threads (util::ThreadPool::resolve_jobs semantics).
   int jobs = 1;
   /// Admission bound: capacity is queue_capacity * default_cost_ms of
@@ -144,6 +154,9 @@ struct ServerStats {
   std::int64_t errors = 0;         ///< error responses sent
   std::int64_t bad_frames = 0;     ///< connections dropped on bad framing
   std::int64_t unknown_tenant = 0; ///< requests naming no registered tenant
+  std::int64_t peer_lookups = 0;   ///< fleet peer-lookup requests served
+  std::int64_t peer_lookup_hits = 0;
+  std::int64_t peer_inserts = 0;   ///< fleet warm inserts accepted
   std::int64_t connections = 0;
   std::int64_t max_queue_depth = 0;
   LatencyHistogram latency;
@@ -184,6 +197,13 @@ class Server {
   void serve_connection(int fd);
   void handle_frame(int fd, const Frame& frame);
   void handle_compile(int fd, std::string_view payload);
+  void handle_peer_lookup(int fd, std::string_view payload);
+  void handle_peer_insert(int fd, std::string_view payload);
+  /// Tiered read: hot tier first, then the verified disk read (which
+  /// also warms the hot tier). nullopt when both miss or no cache.
+  [[nodiscard]] std::optional<std::string> cache_fetch(std::uint64_t key);
+  /// Tiered write: durable disk insert plus hot-tier population.
+  void cache_store(std::uint64_t key, std::string_view payload);
   void send_frame(int fd, FrameKind kind, std::string_view payload);
   void send_error(int fd, const Diagnostic& diag);
   /// Records into the global histogram always, and into the tenant's
@@ -193,6 +213,7 @@ class Server {
 
   ServerOptions options_;
   std::optional<ResultCache> cache_;
+  std::optional<HotTier> hot_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<qos::AdmissionController> admission_;
 

@@ -1,0 +1,199 @@
+#include "service/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace sdf::svc {
+namespace {
+
+[[nodiscard]] sockaddr_un unix_addr(const std::string& path,
+                                    std::string_view who) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw BadArgumentError(std::string(who) + ": socket path too long: " +
+                           path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+[[nodiscard]] sockaddr_in loopback_addr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port > 0 ? static_cast<std::uint16_t>(port) : 0);
+  return addr;
+}
+
+}  // namespace
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool send_all(int fd, std::string_view data) noexcept {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; nothing sensible to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void send_all_or_throw(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("client: send(): ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+int listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_addr(path, "serve");
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("serve: socket(): ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // replace a stale socket
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string detail = std::strerror(errno);
+    close_fd(fd);
+    throw IoError("serve: cannot listen on " + path + ": " + detail);
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("serve: socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string detail = std::strerror(errno);
+    close_fd(fd);
+    throw IoError("serve: cannot listen on loopback TCP: " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (bound_port != nullptr &&
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_addr(path, "client");
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("client: socket(): ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    close_fd(fd);
+    throw IoError("client: cannot connect to " + path + ": " + detail);
+  }
+  return fd;
+}
+
+int connect_tcp(int port) {
+  if (port <= 0) {
+    throw BadArgumentError("client: invalid TCP port " +
+                           std::to_string(port));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw IoError(std::string("client: socket(): ") + std::strerror(errno));
+  }
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    close_fd(fd);
+    throw IoError("client: cannot connect to 127.0.0.1:" +
+                  std::to_string(port) + ": " + detail);
+  }
+  return fd;
+}
+
+int connect_endpoint(const Endpoint& ep) {
+  if (!ep.socket_path.empty()) return connect_unix(ep.socket_path);
+  if (ep.tcp_port > 0) return connect_tcp(ep.tcp_port);
+  throw BadArgumentError("client: no endpoint (need --socket or --port)");
+}
+
+ReadOutcome FrameReader::read(int fd, Frame* out, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      timeout_ms < 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(timeout_ms);
+  char chunk[65536];
+  for (;;) {
+    std::size_t consumed = 0;
+    const DecodeStatus st = decode_frame(buffer_, out, &consumed);
+    if (st == DecodeStatus::kOk) {
+      buffer_.erase(0, consumed);
+      return ReadOutcome::kFrame;
+    }
+    if (st != DecodeStatus::kNeedMore) {
+      last_ = st;
+      return ReadOutcome::kBadFrame;
+    }
+    int wait = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) return ReadOutcome::kTimeout;
+      wait = static_cast<int>(left);
+    }
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, wait);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::kClosed;
+    }
+    if (r == 0) return ReadOutcome::kTimeout;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::kClosed;
+    }
+    if (n == 0) return ReadOutcome::kClosed;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace sdf::svc

@@ -41,6 +41,7 @@ enum class ErrorCode {
   kInterrupted,        ///< run stopped by SIGINT/SIGTERM; resumable
   kOverloaded,         ///< service admission queue full; retry later
   kUnknownTenant,      ///< tenant id not in the daemon's registry
+  kUnavailable,        ///< no live backend worker (fleet routing)
 };
 
 /// 1-based source position inside a parsed text; 0 = unknown.
@@ -126,6 +127,8 @@ using OverloadedError =
     detail::TypedError<std::runtime_error, ErrorCode::kOverloaded>;
 using UnknownTenantError =
     detail::TypedError<std::runtime_error, ErrorCode::kUnknownTenant>;
+using UnavailableError =
+    detail::TypedError<std::runtime_error, ErrorCode::kUnavailable>;
 
 /// Value-or-diagnostic return for the pipeline boundary. Interior code
 /// keeps throwing; the boundary catches once and hands callers this.

@@ -250,7 +250,7 @@ TEST(Errors, EveryThrowSiteProducesItsErrorCode) {
 
 TEST(Errors, EveryErrorCodeIsCoveredBySomeSite) {
   std::vector<bool> covered(
-      static_cast<std::size_t>(ErrorCode::kUnknownTenant) + 1);
+      static_cast<std::size_t>(ErrorCode::kUnavailable) + 1);
   for (const ThrowSite& site : throw_sites()) {
     covered[static_cast<std::size_t>(site.code)] = true;
   }
@@ -264,6 +264,9 @@ TEST(Errors, EveryErrorCodeIsCoveredBySomeSite) {
   covered[static_cast<std::size_t>(ErrorCode::kCorruptJournal)] = true;
   covered[static_cast<std::size_t>(ErrorCode::kInterrupted)] = true;
   covered[static_cast<std::size_t>(ErrorCode::kOverloaded)] = true;
+  // kUnavailable is produced by the fleet router when no live worker
+  // remains (a whole-fleet condition, exercised in test_fleet).
+  covered[static_cast<std::size_t>(ErrorCode::kUnavailable)] = true;
   for (std::size_t i = 0; i < covered.size(); ++i) {
     EXPECT_TRUE(covered[i]) << "no throw site covers "
                             << error_code_name(static_cast<ErrorCode>(i));
@@ -333,6 +336,7 @@ TEST(Errors, NamesAndExitCodesAreStable) {
   EXPECT_EQ(error_code_name(ErrorCode::kInterrupted), "interrupted");
   EXPECT_EQ(error_code_name(ErrorCode::kOverloaded), "overloaded");
   EXPECT_EQ(error_code_name(ErrorCode::kUnknownTenant), "unknown-tenant");
+  EXPECT_EQ(error_code_name(ErrorCode::kUnavailable), "unavailable");
 
   EXPECT_EQ(exit_code_for(ErrorCode::kOk), 0);
   EXPECT_EQ(exit_code_for(ErrorCode::kParse), 11);
@@ -340,8 +344,9 @@ TEST(Errors, NamesAndExitCodesAreStable) {
   EXPECT_EQ(exit_code_for(ErrorCode::kInterrupted), 23);
   EXPECT_EQ(exit_code_for(ErrorCode::kOverloaded), 24);
   EXPECT_EQ(exit_code_for(ErrorCode::kUnknownTenant), 25);
+  EXPECT_EQ(exit_code_for(ErrorCode::kUnavailable), 26);
 
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnknownTenant); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnavailable); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     EXPECT_EQ(error_code_from_name(error_code_name(code)), code);
   }
@@ -359,6 +364,20 @@ TEST(Errors, OverloadedErrorIsTypedAndCatchable) {
     EXPECT_EQ(diag.code, ErrorCode::kOverloaded);
     EXPECT_EQ(diag.message, "queue full");
     EXPECT_EQ(exit_code_for(diag.code), 24);
+  }
+}
+
+TEST(Errors, UnavailableErrorIsTypedAndCatchable) {
+  // The fleet-router "no live worker" rejection (docs/SERVICE.md, "Fleet
+  // mode") follows the same dual-inheritance contract; exit 26 is the
+  // documented code.
+  try {
+    throw UnavailableError("no live worker");
+  } catch (const std::runtime_error& e) {
+    const Diagnostic diag = diagnostic_from_exception(e);
+    EXPECT_EQ(diag.code, ErrorCode::kUnavailable);
+    EXPECT_EQ(diag.message, "no live worker");
+    EXPECT_EQ(exit_code_for(diag.code), 26);
   }
 }
 

@@ -1,0 +1,221 @@
+// Seeded fuzz battery for the SDFSVC1 decoder and the JSON payload
+// parsers (service/protocol.h). The service accepts bytes from the
+// network, so the decoder must map EVERY input to a typed DecodeStatus —
+// never crash, never over-read, never consume bytes it did not decode.
+// Deterministic seeds keep failures reproducible; the CI sanitizer
+// matrix (ASan/UBSan) runs this file to catch the over-reads a plain
+// build would miss.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "service/protocol.h"
+
+namespace sdf::svc {
+namespace {
+
+constexpr int kRounds = 2000;
+
+/// Decodes `bytes` and asserts the universal contract: a status from the
+/// enum, `consumed` exactly the frame size on kOk and untouched (0)
+/// otherwise, and the decoded payload length consistent with the input.
+void check_decode_contract(std::string_view bytes) {
+  Frame frame;
+  std::size_t consumed = 0;
+  const DecodeStatus status = decode_frame(bytes, &frame, &consumed);
+  switch (status) {
+    case DecodeStatus::kOk:
+      ASSERT_EQ(consumed, kHeaderBytes + frame.payload.size());
+      ASSERT_LE(consumed, bytes.size());
+      ASSERT_TRUE(frame_kind_valid(static_cast<std::uint8_t>(frame.kind)));
+      break;
+    case DecodeStatus::kNeedMore:
+    case DecodeStatus::kBadMagic:
+    case DecodeStatus::kBadKind:
+    case DecodeStatus::kTooLarge:
+    case DecodeStatus::kBadCrc:
+      ASSERT_EQ(consumed, 0u);
+      break;
+    default:
+      FAIL() << "decode_frame returned a status outside the enum";
+  }
+  // The status must have a stable printable name (logs never see enum
+  // integers).
+  ASSERT_FALSE(decode_status_name(status).empty());
+}
+
+std::string random_bytes(std::mt19937_64& rng, std::size_t max_len) {
+  std::uniform_int_distribution<std::size_t> len_dist(0, max_len);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::string out(len_dist(rng), '\0');
+  for (char& c : out) c = static_cast<char>(byte_dist(rng));
+  return out;
+}
+
+std::string valid_frame(std::mt19937_64& rng) {
+  static constexpr FrameKind kKinds[] = {
+      FrameKind::kCompileRequest, FrameKind::kCompileResponse,
+      FrameKind::kErrorResponse,  FrameKind::kPing,
+      FrameKind::kPong,           FrameKind::kStatsRequest,
+      FrameKind::kStatsResponse,  FrameKind::kPeerLookupRequest,
+      FrameKind::kPeerLookupResponse, FrameKind::kPeerInsertRequest,
+      FrameKind::kPeerInsertResponse};
+  std::uniform_int_distribution<std::size_t> kind_dist(
+      0, std::size(kKinds) - 1);
+  return encode_frame(kKinds[kind_dist(rng)], random_bytes(rng, 200));
+}
+
+TEST(ProtocolFuzz, RandomBytesNeverCrashTheDecoder) {
+  std::mt19937_64 rng(0xf022ed01);
+  for (int i = 0; i < kRounds; ++i) {
+    check_decode_contract(random_bytes(rng, 256));
+  }
+}
+
+TEST(ProtocolFuzz, BitFlippedValidFramesAreRejectedOrReencoded) {
+  std::mt19937_64 rng(0xb17f11b5);
+  for (int i = 0; i < kRounds; ++i) {
+    std::string wire = valid_frame(rng);
+    std::uniform_int_distribution<std::size_t> pos_dist(0, wire.size() - 1);
+    std::uniform_int_distribution<int> bit_dist(0, 7);
+    const std::size_t pos = pos_dist(rng);
+    wire[pos] ^= static_cast<char>(1 << bit_dist(rng));
+    check_decode_contract(wire);
+
+    // A flip inside the payload or CRC MUST surface as corruption (or a
+    // header-field error) — it can never decode as a clean frame with
+    // the altered bytes.
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status = decode_frame(wire, &frame, &consumed);
+    if (status == DecodeStatus::kOk) {
+      // Only possible if the flip landed somewhere that re-encodes to
+      // the same bytes — i.e. it didn't actually change the frame.
+      ASSERT_EQ(encode_frame(frame.kind, frame.payload), wire);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TruncationsAlwaysAskForMoreOrRejectCleanly) {
+  std::mt19937_64 rng(0x7a011ca7);
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string wire = valid_frame(rng);
+    std::uniform_int_distribution<std::size_t> cut_dist(0, wire.size());
+    const std::string_view prefix(wire.data(), cut_dist(rng));
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status = decode_frame(prefix, &frame, &consumed);
+    if (prefix.size() < wire.size()) {
+      // A strict prefix of a valid frame is incomplete, never corrupt.
+      ASSERT_EQ(status, DecodeStatus::kNeedMore) << "cut at " << prefix.size();
+      ASSERT_EQ(consumed, 0u);
+    } else {
+      ASSERT_EQ(status, DecodeStatus::kOk);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TrailingGarbageDoesNotLeakIntoTheFrame) {
+  std::mt19937_64 rng(0x9a4ba9e1);
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string wire = valid_frame(rng);
+    const std::string tail = random_bytes(rng, 64);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(wire + tail, &frame, &consumed), DecodeStatus::kOk);
+    // Exactly one frame consumed; the garbage stays in the buffer for
+    // the next decode round.
+    ASSERT_EQ(consumed, wire.size());
+  }
+}
+
+TEST(ProtocolFuzz, HugeDeclaredLengthIsRejectedBeforeBuffering) {
+  std::mt19937_64 rng(0x5caff01d);
+  for (int i = 0; i < kRounds; ++i) {
+    std::string wire = valid_frame(rng);
+    // Overwrite the u32 length field with a value above the cap.
+    std::uniform_int_distribution<std::uint32_t> len_dist(
+        kMaxPayloadBytes + 1, 0xffffffffu);
+    const std::uint32_t huge = len_dist(rng);
+    wire[8] = static_cast<char>(huge & 0xff);
+    wire[9] = static_cast<char>((huge >> 8) & 0xff);
+    wire[10] = static_cast<char>((huge >> 16) & 0xff);
+    wire[11] = static_cast<char>((huge >> 24) & 0xff);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(wire, &frame, &consumed), DecodeStatus::kTooLarge);
+    ASSERT_EQ(consumed, 0u);
+  }
+}
+
+// The JSON payload parsers sit one layer above the framing and receive
+// arbitrary (CRC-valid) payload bytes; they must return a typed Result,
+// never throw, never crash.
+TEST(ProtocolFuzz, CompileRequestParserNeverThrowsOnGarbage) {
+  std::mt19937_64 rng(0xc0de9a59);
+  for (int i = 0; i < kRounds; ++i) {
+    const Result<CompileRequest> parsed =
+        parse_compile_request(random_bytes(rng, 300));
+    if (!parsed.ok()) {
+      ASSERT_FALSE(parsed.error().message.empty());
+    }
+  }
+}
+
+TEST(ProtocolFuzz, PeerParsersNeverThrowOnGarbage) {
+  std::mt19937_64 rng(0x9ee59a59);
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string bytes = random_bytes(rng, 300);
+    (void)parse_peer_lookup(bytes);
+    (void)parse_peer_insert(bytes);
+  }
+  // And mutated-but-plausible JSON: corrupt a valid peer payload.
+  for (int i = 0; i < kRounds; ++i) {
+    std::string payload = encode_peer_insert(rng(), "cached-bytes");
+    std::uniform_int_distribution<std::size_t> pos_dist(0, payload.size() - 1);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    payload[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    (void)parse_peer_lookup(payload);
+    (void)parse_peer_insert(payload);
+  }
+}
+
+TEST(ProtocolFuzz, PeerPayloadsRoundTrip) {
+  std::mt19937_64 rng(0x900d5eed);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng();
+    const Result<std::uint64_t> lookup =
+        parse_peer_lookup(encode_peer_lookup(key));
+    ASSERT_TRUE(lookup.ok());
+    EXPECT_EQ(lookup.value(), key);
+
+    const std::string object = "obj-" + std::to_string(rng());
+    const Result<PeerInsert> insert =
+        parse_peer_insert(encode_peer_insert(key, object));
+    ASSERT_TRUE(insert.ok());
+    EXPECT_EQ(insert.value().key, key);
+    EXPECT_EQ(insert.value().object, object);
+  }
+}
+
+TEST(ProtocolFuzz, KeyHexRejectsEverythingButSixteenLowerHex) {
+  EXPECT_TRUE(parse_key_hex("00000000deadbeef").has_value());
+  EXPECT_FALSE(parse_key_hex("").has_value());
+  EXPECT_FALSE(parse_key_hex("deadbeef").has_value());           // short
+  EXPECT_FALSE(parse_key_hex("00000000DEADBEEF").has_value());   // upper
+  EXPECT_FALSE(parse_key_hex("00000000deadbeef0").has_value());  // long
+  EXPECT_FALSE(parse_key_hex("0000000gdeadbeef").has_value());   // non-hex
+  std::mt19937_64 rng(0x4e71d5);
+  for (int i = 0; i < kRounds; ++i) {
+    const std::uint64_t key = rng();
+    const auto parsed = parse_key_hex(key_hex(key));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, key);
+  }
+}
+
+}  // namespace
+}  // namespace sdf::svc

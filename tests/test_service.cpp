@@ -23,6 +23,7 @@
 #include "service/protocol.h"
 #include "service/qos.h"
 #include "service/server.h"
+#include "service/transport.h"
 #include "util/shutdown.h"
 
 namespace sdf::svc {
@@ -526,6 +527,10 @@ TEST(Service, DrainRemovesSocketAndRefusesNewConnections) {
   EXPECT_FALSE(fs::exists(scratch.socket_path()))
       << "a drained daemon must unlink its socket";
   EXPECT_THROW(Client client({scratch.socket_path(), 0}), IoError);
+  // A drained daemon exits, releasing its cache flock with the process;
+  // destroying the Server models that (single-writer contract,
+  // service/cache.h).
+  running.reset();
 
   // The cache index survived the drain: a restart hits immediately.
   RunningServer restarted(opts);
@@ -713,6 +718,183 @@ TEST(Service, ShutdownFlagDrainsRunLoop) {
   runner.join();
   util::reset_shutdown();
   SUCCEED();
+}
+
+// ----------------------------------------------------- fleet foundations
+
+// The single-writer contract (service/cache.h): opening a cache dir that
+// another ResultCache already holds is a typed IoError, never silent
+// index interleaving. The flock dies with its holder, so the dir is
+// reusable the moment the first cache is gone.
+TEST(ResultCache, SecondOpenOfLockedDirIsATypedError) {
+  Scratch scratch;
+  {
+    ResultCache first(scratch.cache_dir());
+    first.insert(1, "doc");
+    try {
+      ResultCache second(scratch.cache_dir());
+      FAIL() << "second open of a locked cache dir did not throw";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("locked by another process"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // Lock released with the first cache: reopening now succeeds.
+  ResultCache reopened(scratch.cache_dir());
+  EXPECT_EQ(reopened.lookup(1).value_or(""), "doc");
+}
+
+TEST(Service, TwoWorkersSharingACacheDirRefuseToStart) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+
+  // A second worker misconfigured onto the same --cache dir fails its
+  // construction with the typed locking error (exit 12 via the CLI).
+  ServerOptions second = opts;
+  second.socket_path = scratch.dir + "/d2.sock";
+  EXPECT_THROW(Server other(second), IoError);
+}
+
+// ---------------------------------------------------------- peer frames
+
+Frame raw_roundtrip(const std::string& socket_path, FrameKind kind,
+                    std::string_view payload) {
+  const int fd = connect_unix(socket_path);
+  send_all_or_throw(fd, encode_frame(kind, payload));
+  FrameReader reader;
+  Frame reply;
+  EXPECT_EQ(reader.read(fd, &reply), ReadOutcome::kFrame);
+  ::close(fd);
+  return reply;
+}
+
+std::uint64_t tiny_cache_key() {
+  const CompileRequest req = tiny_request();
+  return cache_key(write_graph_text(parse_graph_text(req.graph_text)),
+                   option_fingerprint(req));
+}
+
+TEST(Service, PeerLookupServesExactCachedBytesAndMissesEmpty) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+
+  Client client({scratch.socket_path(), 0});
+  const Result<std::string> cold = client.compile(tiny_request());
+  ASSERT_TRUE(cold.ok());
+
+  // A peer lookup for the key the compile populated returns the exact
+  // response bytes; an unknown key returns the unambiguous empty miss.
+  const Frame hit = raw_roundtrip(scratch.socket_path(),
+                                  FrameKind::kPeerLookupRequest,
+                                  encode_peer_lookup(tiny_cache_key()));
+  ASSERT_EQ(hit.kind, FrameKind::kPeerLookupResponse);
+  EXPECT_EQ(hit.payload, cold.value());
+
+  const Frame miss = raw_roundtrip(scratch.socket_path(),
+                                   FrameKind::kPeerLookupRequest,
+                                   encode_peer_lookup(0xdeadu));
+  ASSERT_EQ(miss.kind, FrameKind::kPeerLookupResponse);
+  EXPECT_TRUE(miss.payload.empty());
+
+  const ServerStats stats = running.server->stats();
+  EXPECT_EQ(stats.peer_lookups, 2);
+  EXPECT_EQ(stats.peer_lookup_hits, 1);
+}
+
+TEST(Service, PeerInsertIsDurableAndServedBack) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  const std::string doc = "{\"schema\":\"sdfmem.telemetry.v1\"}";
+  {
+    RunningServer running(opts);
+    const Frame ack = raw_roundtrip(scratch.socket_path(),
+                                    FrameKind::kPeerInsertRequest,
+                                    encode_peer_insert(42, doc));
+    ASSERT_EQ(ack.kind, FrameKind::kPeerInsertResponse);
+    const Frame hit = raw_roundtrip(scratch.socket_path(),
+                                    FrameKind::kPeerLookupRequest,
+                                    encode_peer_lookup(42));
+    ASSERT_EQ(hit.kind, FrameKind::kPeerLookupResponse);
+    EXPECT_EQ(hit.payload, doc);
+    EXPECT_EQ(running.server->stats().peer_inserts, 1);
+  }
+  // Durable: the warmed entry survives a worker restart (disk tier, not
+  // just the hot tier).
+  RunningServer restarted(opts);
+  const Frame hit = raw_roundtrip(scratch.socket_path(),
+                                  FrameKind::kPeerLookupRequest,
+                                  encode_peer_lookup(42));
+  ASSERT_EQ(hit.kind, FrameKind::kPeerLookupResponse);
+  EXPECT_EQ(hit.payload, doc);
+}
+
+TEST(Service, PeerInsertWithoutCacheIsATypedError) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();  // no cache_dir
+  RunningServer running(opts);
+
+  const Frame reply = raw_roundtrip(scratch.socket_path(),
+                                    FrameKind::kPeerInsertRequest,
+                                    encode_peer_insert(7, "doc"));
+  EXPECT_EQ(reply.kind, FrameKind::kErrorResponse);
+
+  // Malformed peer payloads are typed errors too, not closed sockets.
+  const Frame bad = raw_roundtrip(scratch.socket_path(),
+                                  FrameKind::kPeerLookupRequest,
+                                  "{\"schema\":\"wrong.v9\"}");
+  EXPECT_EQ(bad.kind, FrameKind::kErrorResponse);
+}
+
+TEST(Service, HotTierServesRepeatHitsFromMemory) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+
+  Client client({scratch.socket_path(), 0});
+  const Result<std::string> cold = client.compile(tiny_request());
+  ASSERT_TRUE(cold.ok());
+  const Result<std::string> hot = client.compile(tiny_request());
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot.value(), cold.value());
+
+  // The repeat was served by the in-memory tier (the compile's
+  // cache_store warmed it), and the combined "hits" counter keeps its
+  // pre-fleet served-from-cache meaning.
+  const obs::Json doc = obs::Json::parse(client.stats());
+  const obs::Json& cache = *doc.find("cache");
+  EXPECT_EQ(cache.find("hot_hits")->as_int(), 1);
+  EXPECT_EQ(cache.find("hits")->as_int(), 1);
+  EXPECT_GE(cache.find("hot_bytes")->as_int(), 1);
+}
+
+TEST(Service, HotTierDisabledStillServesFromDisk) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  opts.hot_tier_bytes = 0;  // --hot-mb 0
+  RunningServer running(opts);
+
+  Client client({scratch.socket_path(), 0});
+  const Result<std::string> cold = client.compile(tiny_request());
+  ASSERT_TRUE(cold.ok());
+  const Result<std::string> hot = client.compile(tiny_request());
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot.value(), cold.value());
+  const ServerStats stats = running.server->stats();
+  EXPECT_EQ(stats.cache_hits, 1);
 }
 
 }  // namespace
