@@ -18,16 +18,27 @@
 // routing keeps every key's cache on one worker, so adding workers never
 // dilutes hit rates the way naive round-robin would.
 //
+// A fourth phase benchmarks recovery (docs/RELIABILITY.md): kill/restart
+// cycles over a 3-worker routed fleet, timing how long the fleet takes
+// to serve the full suite again after each disruption. The headline is
+// the kill-recovery p50/p95 — how fast the breaker + failover path
+// restores service after a worker vanishes.
+//
 //   SDFMEM_SERVICE_CLIENTS        concurrent client connections (default 4)
 //   SDFMEM_SERVICE_ROUNDS         hot rounds over the suite (default 3)
 //   SDFMEM_SERVICE_LIGHT_REQS     light-tenant requests per phase (default 24)
 //   SDFMEM_SERVICE_HOG_CLIENTS    hog connections in the mix (default 4)
-//   SDFMEM_SERVICE_FAIRNESS_GATE  nonzero: exit 1 when the ratio exceeds 2
-//   SDFMEM_SERVICE_FLEET_GATE     nonzero: exit 1 when the routed hot hit
+//   SDFMEM_SERVICE_CHAOS_CYCLES   kill/restart cycles (default 5)
+//   SDFMEM_SERVICE_FAIRNESS_GATE  1: exit 1 when the ratio exceeds 2
+//   SDFMEM_SERVICE_FLEET_GATE     1: exit 1 when the routed hot hit
 //                                 rate drops below 95% at any fleet size,
 //                                 or the 4-worker hot p50 exceeds 3x the
 //                                 1-worker hot p50
 //   SDFMEM_BENCH_JSON             write the trajectory as telemetry JSON
+//
+// Every SDFMEM_SERVICE_* value is validated strictly (util/flags.h):
+// counts must be positive decimal integers, gates exactly "0" or "1";
+// anything else is a usage error (exit 2), never a silent fallback.
 #include <unistd.h>
 
 #include <algorithm>
@@ -37,7 +48,9 @@
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -45,11 +58,44 @@
 #include "sdf/io.h"
 #include "service/client.h"
 #include "service/qos.h"
+#include "service/retry.h"
 #include "service/router.h"
 #include "service/server.h"
+#include "util/flags.h"
 
 namespace sdf::bench {
 namespace {
+
+/// Strict SDFMEM_* count: unset means the fallback; anything set must
+/// parse as a strictly positive decimal integer (util/flags.h) or the
+/// run is a usage error — exit 2, never a silent fallback that would
+/// quietly benchmark the wrong configuration.
+int env_count(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::optional<std::int64_t> parsed =
+      util::parse_positive_flag(value);
+  if (!parsed.has_value() || *parsed > 1000000) {
+    std::fprintf(stderr,
+                 "usage: %s must be a positive decimal integer, got '%s'\n",
+                 name, value);
+    std::exit(2);
+  }
+  return static_cast<int>(*parsed);
+}
+
+/// Strict SDFMEM_*_GATE flag: unset or "0" is off, "1" is on, anything
+/// else is a usage error — a typo'd gate must not silently skip the
+/// check it was meant to arm.
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  const std::string_view text(value);
+  if (text == "0") return false;
+  if (text == "1") return true;
+  std::fprintf(stderr, "usage: %s must be 0 or 1, got '%s'\n", name, value);
+  std::exit(2);
+}
 
 std::int64_t percentile(std::vector<std::int64_t> sorted_us, double p) {
   if (sorted_us.empty()) return 0;
@@ -154,9 +200,9 @@ std::vector<std::int64_t> run_light(const std::string& socket_path,
 /// then light vs a flooding rate-limited hog. Returns nonzero when the
 /// fairness gate is armed and violated.
 int fairness_phase(JsonTrajectory& trajectory) {
-  const int light_reqs = env_int("SDFMEM_SERVICE_LIGHT_REQS", 24);
-  const int hog_clients = env_int("SDFMEM_SERVICE_HOG_CLIENTS", 4);
-  const bool gate = env_int("SDFMEM_SERVICE_FAIRNESS_GATE", 0) != 0;
+  const int light_reqs = env_count("SDFMEM_SERVICE_LIGHT_REQS", 24);
+  const int hog_clients = env_count("SDFMEM_SERVICE_HOG_CLIENTS", 4);
+  const bool gate = env_flag("SDFMEM_SERVICE_FAIRNESS_GATE");
 
   const std::string dir =
       "/tmp/sdfmem_service_fair_" + std::to_string(::getpid());
@@ -316,9 +362,9 @@ int fairness_phase(JsonTrajectory& trajectory) {
 /// hit rate per round. Returns nonzero when the fleet gate is armed and
 /// the hit rate or p50 scaling contract is violated.
 int fleet_phase(JsonTrajectory& trajectory) {
-  const int clients = env_int("SDFMEM_SERVICE_CLIENTS", 4);
-  const int hot_rounds = env_int("SDFMEM_SERVICE_ROUNDS", 3);
-  const bool gate = env_int("SDFMEM_SERVICE_FLEET_GATE", 0) != 0;
+  const int clients = env_count("SDFMEM_SERVICE_CLIENTS", 4);
+  const int hot_rounds = env_count("SDFMEM_SERVICE_ROUNDS", 3);
+  const bool gate = env_flag("SDFMEM_SERVICE_FLEET_GATE");
 
   std::vector<std::string> requests;
   for (const Graph& g : table1_systems()) {
@@ -470,10 +516,211 @@ int fleet_phase(JsonTrajectory& trajectory) {
   return 0;
 }
 
+// ------------------------------------------------------------------ chaos
+
+/// A worker the chaos phase can kill and resurrect over the same cache
+/// directory (the bench analogue of tests/chaos_harness.h).
+struct RestartableWorker {
+  svc::ServerOptions options;
+  std::unique_ptr<svc::Server> server;
+  std::thread runner;
+  bool up = false;
+
+  explicit RestartableWorker(svc::ServerOptions opts)
+      : options(std::move(opts)) {
+    start();
+  }
+  ~RestartableWorker() { stop(); }
+
+  void start() {
+    if (up) return;
+    server = std::make_unique<svc::Server>(options);
+    server->start();
+    runner = std::thread([this] { server->run(); });
+    up = true;
+  }
+  void stop() {
+    if (!up) return;
+    server->stop();
+    runner.join();
+    server.reset();
+    up = false;
+  }
+};
+
+/// Kill/restart cycles over a 3-worker routed fleet: after each kill,
+/// the time until the retrying client serves the full suite again with
+/// zero failures; after each restart, the time until the router's
+/// health prober reports every worker routable. Recovery p50/p95 are
+/// the headline (docs/RELIABILITY.md).
+int chaos_phase(JsonTrajectory& trajectory) {
+  const int cycles = env_count("SDFMEM_SERVICE_CHAOS_CYCLES", 5);
+  constexpr int kWorkers = 3;
+
+  const std::string dir =
+      "/tmp/sdfmem_service_chaos_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Default (cheap) compile options: recovery time should measure the
+  // breaker + failover path, not an expensive pipeline.
+  std::vector<std::string> requests;
+  for (const Graph& g : table1_systems()) {
+    requests.push_back(write_graph_text(g));
+  }
+
+  std::vector<std::unique_ptr<RestartableWorker>> workers;
+  svc::RouterOptions ropts;
+  ropts.socket_path = dir + "/router.sock";
+  for (int w = 0; w < kWorkers; ++w) {
+    svc::ServerOptions wopts;
+    wopts.socket_path = dir + "/w" + std::to_string(w) + ".sock";
+    wopts.cache_dir = dir + "/w" + std::to_string(w) + ".cache";
+    wopts.worker_id = "w" + std::to_string(w);
+    wopts.queue_capacity = 1024;
+    workers.push_back(std::make_unique<RestartableWorker>(wopts));
+    svc::WorkerConfig cfg;
+    cfg.id = wopts.worker_id;
+    cfg.endpoint.socket_path = wopts.socket_path;
+    cfg.pinned_id = true;
+    ropts.workers.push_back(cfg);
+  }
+  ropts.worker_timeout_ms = 250;
+  ropts.breaker_threshold = 2;
+  ropts.health_interval_ms = 25;
+  svc::Router router(ropts);
+  router.start();
+  std::thread router_runner([&router] { router.run(); });
+
+  svc::RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 40;
+  policy.seed = 42;
+  svc::RetryBudget budget(100000);
+  svc::RetryingClient client({ropts.socket_path, 0}, policy, &budget);
+
+  std::int64_t typed_failures = 0;
+  // One clean pass over the suite; counts (typed) failures seen.
+  const auto full_pass = [&]() -> bool {
+    bool clean = true;
+    for (const std::string& graph : requests) {
+      svc::CompileRequest req;
+      req.graph_text = graph;
+      const Result<std::string> r = client.compile(req);
+      if (!r.ok()) {
+        if (!svc::retryable(r.error().code)) {
+          throw IoError("service_load: non-retryable chaos failure: " +
+                        r.error().message);
+        }
+        ++typed_failures;
+        clean = false;
+      }
+    }
+    return clean;
+  };
+  const auto all_alive = [&]() -> bool {
+    int alive = 0;
+    for (const auto& [id, w] : router.stats().workers) {
+      if (w.alive) ++alive;
+    }
+    return alive == kWorkers;
+  };
+
+  // Warm pass: caches populated, every worker proven serving.
+  if (!full_pass()) {
+    throw IoError("service_load: chaos warm pass failed on healthy fleet");
+  }
+
+  std::vector<std::int64_t> kill_rec_ms;
+  std::vector<std::int64_t> restart_rec_ms;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const int victim = cycle % kWorkers;
+    const auto killed = std::chrono::steady_clock::now();
+    workers[static_cast<std::size_t>(victim)]->stop();
+    // Recovery = first fully clean pass after the kill; 30 s without one
+    // is a hang, and the phase fails rather than wedges.
+    const auto kill_deadline = killed + std::chrono::seconds(30);
+    while (!full_pass()) {
+      if (std::chrono::steady_clock::now() > kill_deadline) {
+        std::fprintf(stderr,
+                     "service_load: FAIL chaos: no clean pass within 30 s "
+                     "of killing w%d\n", victim);
+        router.stop();
+        router_runner.join();
+        return 1;
+      }
+    }
+    kill_rec_ms.push_back(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - killed)
+            .count());
+
+    const auto restarted = std::chrono::steady_clock::now();
+    workers[static_cast<std::size_t>(victim)]->start();
+    const auto restart_deadline = restarted + std::chrono::seconds(30);
+    while (!all_alive()) {
+      if (std::chrono::steady_clock::now() > restart_deadline) {
+        std::fprintf(stderr,
+                     "service_load: FAIL chaos: w%d not routable within "
+                     "30 s of restart\n", victim);
+        router.stop();
+        router_runner.join();
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    restart_rec_ms.push_back(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - restarted)
+            .count());
+  }
+
+  router.stop();
+  router_runner.join();
+  workers.clear();
+  std::filesystem::remove_all(dir);
+
+  std::sort(kill_rec_ms.begin(), kill_rec_ms.end());
+  std::sort(restart_rec_ms.begin(), restart_rec_ms.end());
+  const std::int64_t kill_p50 = percentile(kill_rec_ms, 50);
+  const std::int64_t kill_p95 = percentile(kill_rec_ms, 95);
+  const std::int64_t restart_p50 = percentile(restart_rec_ms, 50);
+  const std::int64_t restart_p95 = percentile(restart_rec_ms, 95);
+
+  std::printf("\nchaos: %d kill/restart cycle(s) over %d workers "
+              "(breaker threshold 2, 25 ms health probes)\n",
+              cycles, kWorkers);
+  std::printf("kill recovery:    p50 %lld ms, p95 %lld ms "
+              "(first clean suite pass after a worker vanishes)\n",
+              static_cast<long long>(kill_p50),
+              static_cast<long long>(kill_p95));
+  std::printf("restart recovery: p50 %lld ms, p95 %lld ms "
+              "(probe sees the worker routable again)\n",
+              static_cast<long long>(restart_p50),
+              static_cast<long long>(restart_p95));
+  std::printf("typed failures absorbed mid-chaos: %lld "
+              "(every one retryable — none escaped untyped)\n",
+              static_cast<long long>(typed_failures));
+
+  if (trajectory.active()) {
+    obs::Json chaos = obs::Json::object();
+    chaos["cycles"] = static_cast<std::int64_t>(cycles);
+    chaos["kill_recovery_p50_ms"] = kill_p50;
+    chaos["kill_recovery_p95_ms"] = kill_p95;
+    chaos["restart_recovery_p50_ms"] = restart_p50;
+    chaos["restart_recovery_p95_ms"] = restart_p95;
+    chaos["typed_failures"] = typed_failures;
+    chaos["retries_granted"] = budget.retries_granted();
+    trajectory.results()["chaos"] = std::move(chaos);
+  }
+  return 0;
+}
+
 int body() {
   JsonTrajectory trajectory("service_load");
-  const int clients = env_int("SDFMEM_SERVICE_CLIENTS", 4);
-  const int hot_rounds = env_int("SDFMEM_SERVICE_ROUNDS", 3);
+  const int clients = env_count("SDFMEM_SERVICE_CLIENTS", 4);
+  const int hot_rounds = env_count("SDFMEM_SERVICE_ROUNDS", 3);
 
   const std::string dir =
       "/tmp/sdfmem_service_load_" + std::to_string(::getpid());
@@ -580,7 +827,9 @@ int body() {
   std::filesystem::remove_all(dir);
   const int fairness_rc = fairness_phase(trajectory);
   const int fleet_rc = fleet_phase(trajectory);
-  return fairness_rc != 0 ? fairness_rc : fleet_rc;
+  const int chaos_rc = chaos_phase(trajectory);
+  if (fairness_rc != 0) return fairness_rc;
+  return fleet_rc != 0 ? fleet_rc : chaos_rc;
 }
 
 }  // namespace

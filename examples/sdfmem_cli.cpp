@@ -40,7 +40,11 @@
 // malformed graph is diagnosed by the server) and prints the response
 // JSON; `--tenant name` tags the request for QoS accounting (unset
 // lands in `public`), `--stats` asks for the daemon's live stats
-// document instead.
+// document instead. `client` reuses `--retries N` / `--backoff-ms B`
+// for typed-failure retries with deterministic exponential backoff, and
+// `--retry-budget N` bounds the process-wide retry volume
+// (docs/RELIABILITY.md); `serve` grows `--scrub-interval N` (ms) to run
+// the background cache scrubber that quarantines corrupt objects.
 //
 // Fleet mode (docs/SERVICE.md, "Fleet mode"): `route` runs the shard
 // router over `--worker [id@]{path|tcp:PORT}` workers (repeat the flag
@@ -96,8 +100,10 @@
 #include "sdf/io.h"
 #include "sdf/transform.h"
 #include "service/client.h"
+#include "service/retry.h"
 #include "service/router.h"
 #include "service/server.h"
+#include "service/transport.h"
 #include "util/fault.h"
 #include "util/flags.h"
 #include "util/shutdown.h"
@@ -122,12 +128,14 @@ void usage() {
       "                  [--queue N] [--cost-ms N] [--jobs N]\n"
       "                  [--deadline-ms N] [--dp-mem-mb N]\n"
       "                  [--tenants-config file.json] [--worker-id name]\n"
-      "                  [--hot-mb N]\n"
+      "                  [--hot-mb N] [--scrub-interval N]\n"
       "       sdfmem_cli route [--socket path] [--port N]\n"
       "                  --worker [id@]{path|tcp:PORT} [--worker ...]\n"
       "                  [--health-ms N] [--worker-timeout-ms N]\n"
+      "                  [--breaker-threshold N]\n"
       "       sdfmem_cli client [graph.sdf] (--socket path | --port N)\n"
-      "                  [--tenant name] [--stats] [--json]\n");
+      "                  [--tenant name] [--stats] [--json]\n"
+      "                  [--retries N] [--backoff-ms N] [--retry-budget N]\n");
 }
 
 /// Prints the collected spans (indented by depth) and all counters/gauges.
@@ -284,6 +292,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> worker_specs;
   int health_ms = 250;
   int worker_timeout_ms = 60000;
+  int breaker_threshold = 3;
+  std::int64_t retry_budget = 32;
+  int scrub_interval_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
@@ -455,6 +466,30 @@ int main(int argc, char** argv) {
       const auto v = parse_positive("--worker-timeout-ms", argv[++i]);
       if (!v) return kUsageExit;
       worker_timeout_ms = static_cast<int>(*v);
+    } else if (arg == "--breaker-threshold") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_positive("--breaker-threshold", argv[++i]);
+      if (!v) return kUsageExit;
+      breaker_threshold = static_cast<int>(*v);
+    } else if (arg == "--retry-budget") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--retry-budget", argv[++i]);
+      if (!v) return kUsageExit;
+      retry_budget = *v;
+    } else if (arg == "--scrub-interval") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_count("--scrub-interval", argv[++i]);
+      if (!v) return kUsageExit;
+      scrub_interval_ms = static_cast<int>(*v);
     } else if (arg == "--stats") {
       stats_request = true;
     } else if (arg == "--json") {
@@ -506,6 +541,7 @@ int main(int argc, char** argv) {
       sopts.default_cost_ms = cost_ms;
       sopts.budget = budget;
       sopts.worker_id = worker_id;
+      sopts.scrub_interval_ms = scrub_interval_ms;
       if (hot_mb >= 0) sopts.hot_tier_bytes = hot_mb * (1ll << 20);
       if (!tenants_config_path.empty()) {
         const Result<svc::qos::TenantRegistry> registry =
@@ -559,6 +595,7 @@ int main(int argc, char** argv) {
       ropts.tcp_port = tcp_port;
       ropts.health_interval_ms = health_ms;
       ropts.worker_timeout_ms = worker_timeout_ms;
+      ropts.breaker_threshold = breaker_threshold;
       for (const std::string& spec : worker_specs) {
         const Result<svc::WorkerConfig> worker = svc::parse_worker_spec(spec);
         if (!worker.ok()) return report_error(worker.error(), json_errors);
@@ -585,11 +622,14 @@ int main(int argc, char** argv) {
 
   if (mode == "client") {
     try {
+      // The daemon hanging up mid-send must surface as a typed kIo
+      // diagnostic (retryable), not a SIGPIPE kill.
+      svc::ignore_sigpipe();
       svc::ClientOptions copts;
       copts.socket_path = socket_path;
       copts.tcp_port = tcp_port;
-      svc::Client client(copts);
       if (stats_request) {
+        svc::Client client(copts);
         std::printf("%s\n", client.stats().c_str());
         return finish_stdout(json_errors);
       }
@@ -600,6 +640,13 @@ int main(int argc, char** argv) {
       req.deadline_ms = budget.deadline_ms;
       req.dp_mem_bytes = budget.dp_mem_bytes;
       req.tenant = tenant;  // empty keeps the wire payload at schema v1
+      // max_retries = 0 (the default) is exactly one attempt — the
+      // pre-retry behaviour.
+      svc::RetryPolicy rpolicy;
+      rpolicy.max_retries = retries;
+      if (backoff_ms > 0) rpolicy.base_backoff_ms = backoff_ms;
+      svc::RetryBudget rbudget(retry_budget);
+      svc::RetryingClient client(copts, rpolicy, &rbudget);
       const Result<std::string> response = client.compile(req);
       if (!response.ok()) {
         return report_error(response.error(), json_errors);

@@ -15,6 +15,7 @@
 #include "obs/json_report.h"
 #include "service/protocol.h"
 #include "util/crc32.h"
+#include "util/fault.h"
 #include "util/status.h"
 
 namespace sdf::svc {
@@ -25,6 +26,9 @@ namespace fs = std::filesystem;
 constexpr std::string_view kIndexSchema = "sdfmem.cache.v1";
 
 std::optional<std::string> read_file(const std::string& path) {
+  if (fault::enabled() && fault::should_fail("svc_cache_read")) {
+    return std::nullopt;  // injected: the object is unreadable
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::string data((std::istreambuf_iterator<char>(in)),
@@ -177,6 +181,9 @@ void ResultCache::insert(std::uint64_t key, std::string_view payload) {
     if (!inflight_.insert(key).second) return;
   }
   try {
+    if (fault::enabled() && fault::should_fail("svc_cache_write")) {
+      throw IoError("cache: injected svc_cache_write fault");
+    }
     util::atomic_write_file(object_path(key), payload);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -201,6 +208,61 @@ void ResultCache::insert(std::uint64_t key, std::string_view payload) {
   ++stats_.inserts;
   stats_.entries = static_cast<std::int64_t>(entries_.size());
   obs::count("service.cache.inserts");
+}
+
+std::vector<std::uint64_t> ResultCache::scrub_once() {
+  // Snapshot under the lock, verify outside it: a scrub pass reads every
+  // object and must not stall request handlers while it does.
+  std::vector<std::pair<std::uint64_t, Entry>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) snapshot.emplace_back(key, entry);
+  }
+
+  std::vector<std::uint64_t> quarantined;
+  for (const auto& [key, entry] : snapshot) {
+    const std::string path = object_path(key);
+    const std::optional<std::string> data = read_file(path);
+    const bool valid = data.has_value() && data->size() == entry.bytes &&
+                       util::crc32(*data) == entry.crc;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.scrub_checked;
+      if (valid) continue;
+      // Re-check under the lock: a concurrent re-insert may have
+      // replaced the object since the snapshot; believe the live index.
+      const auto it = entries_.find(key);
+      if (it == entries_.end() || inflight_.count(key) > 0 ||
+          it->second.crc != entry.crc || it->second.bytes != entry.bytes) {
+        continue;
+      }
+      entries_.erase(it);
+      ++stats_.scrub_quarantined;
+      stats_.entries = static_cast<std::int64_t>(entries_.size());
+    }
+    obs::count("service.cache.scrub_quarantined");
+    // Quarantine, don't delete: the corrupt bytes are forensic evidence
+    // (which bit flipped? repeated sector?). The index entry is already
+    // gone, so a failed rename just leaves an orphan object — wasted
+    // bytes, never a wrong answer.
+    std::error_code ec;
+    const fs::path qdir = fs::path(dir_) / "quarantine";
+    fs::create_directories(qdir, ec);
+    if (!ec) {
+      fs::rename(path, qdir / (key_hex(key) + ".json"), ec);
+    }
+    if (ec) {
+      fs::remove(path, ec);  // best effort; the entry is dropped anyway
+    }
+    quarantined.push_back(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.scrub_passes;
+  }
+  obs::count("service.cache.scrub_passes");
+  return quarantined;
 }
 
 std::size_t ResultCache::size() const {

@@ -44,6 +44,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/journal.h"
 
@@ -55,6 +56,9 @@ struct CacheStats {
   std::int64_t inserts = 0;
   std::int64_t corrupt = 0;   ///< entries dropped on a failed verify
   std::int64_t entries = 0;   ///< live index size
+  std::int64_t scrub_passes = 0;       ///< completed scrub walks
+  std::int64_t scrub_checked = 0;      ///< objects CRC-verified by scrubs
+  std::int64_t scrub_quarantined = 0;  ///< corrupt objects quarantined
 };
 
 class ResultCache {
@@ -80,6 +84,15 @@ class ResultCache {
   /// index append. Idempotent — a key that is already live is left
   /// untouched (first writer wins, so hot responses stay byte-stable).
   void insert(std::uint64_t key, std::string_view payload);
+
+  /// One scrubber pass (docs/RELIABILITY.md, "Cache scrubber"):
+  /// CRC-walks every live index entry, moving each corrupt or unreadable
+  /// object into `<dir>/quarantine/` and dropping its index entry, so
+  /// bit-rot is repaired before a client pays the miss. Returns the keys
+  /// quarantined in this pass — the caller must evict them from any hot
+  /// tier fronting this store. Safe to call concurrently with
+  /// lookup()/insert(); a key mid-insert is skipped.
+  [[nodiscard]] std::vector<std::uint64_t> scrub_once();
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] std::size_t size() const;

@@ -1,6 +1,7 @@
 #include "service/hot_tier.h"
 
 #include "obs/counters.h"
+#include "util/fault.h"
 
 namespace sdf::svc {
 
@@ -8,6 +9,14 @@ HotTier::HotTier(std::int64_t capacity_bytes)
     : capacity_(capacity_bytes > 0 ? capacity_bytes : 0) {}
 
 std::optional<std::string> HotTier::lookup(std::uint64_t key) {
+  if (fault::enabled() && fault::should_fail("svc_cache_read")) {
+    // Injected: the resident copy is unusable — degrade to the disk
+    // tier exactly like a capacity miss.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    obs::count("service.cache.hot_misses");
+    return std::nullopt;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -38,6 +47,20 @@ void HotTier::insert(std::uint64_t key, std::string_view payload) {
   ++stats_.inserts;
   obs::count("service.cache.hot_inserts");
   obs::gauge("service.cache.hot_bytes", stats_.bytes);
+}
+
+bool HotTier::erase(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  stats_.bytes -= static_cast<std::int64_t>(it->second->payload.size());
+  lru_.erase(it->second);
+  index_.erase(it);
+  stats_.entries = static_cast<std::int64_t>(lru_.size());
+  ++stats_.evictions;
+  obs::count("service.cache.hot_evictions");
+  obs::gauge("service.cache.hot_bytes", stats_.bytes);
+  return true;
 }
 
 void HotTier::evict_to_fit_locked(std::int64_t incoming) {

@@ -54,6 +54,11 @@ class HotTier {
   /// dropped.
   void insert(std::uint64_t key, std::string_view payload);
 
+  /// Drops `key` if resident (the cache scrubber quarantined its disk
+  /// object, so the hot copy must not outlive it). Returns true when an
+  /// entry was removed; counted in service.cache.hot_evictions.
+  bool erase(std::uint64_t key);
+
   [[nodiscard]] std::int64_t capacity_bytes() const noexcept {
     return capacity_;
   }

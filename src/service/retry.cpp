@@ -1,0 +1,138 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/counters.h"
+#include "sdf/diagnostics.h"
+
+namespace sdf::svc {
+namespace {
+
+// splitmix64, same construction as util/fault.cpp: the jitter only needs
+// a deterministic well-mixed draw.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kIo:          // broken connection, torn reply
+    case ErrorCode::kOverloaded:  // admission backpressure — retry later
+    case ErrorCode::kUnavailable: // fleet outage — retry once it heals
+      return true;
+    default:
+      // Deterministic rejections (kParse, kBadArgument, kUnknownTenant,
+      // kInconsistent, ...) return the same answer every time; retrying
+      // them is pure amplification.
+      return false;
+  }
+}
+
+std::int64_t retry_backoff_ms(const RetryPolicy& policy,
+                              int retry_index) noexcept {
+  const std::int64_t base = std::max<std::int64_t>(policy.base_backoff_ms, 0);
+  const std::int64_t cap = std::max<std::int64_t>(policy.max_backoff_ms, base);
+  if (base == 0) return 0;
+  // min(cap, base * 2^k) without overflow: stop doubling at the cap.
+  std::int64_t d = base;
+  for (int k = 0; k < retry_index && d < cap; ++k) d *= 2;
+  d = std::min(d, cap);
+  // Jitter in [d/2, d], keyed by (seed, retry_index) only — two runs
+  // with the same seed sleep identically.
+  const std::uint64_t draw =
+      mix(policy.seed ^ mix(static_cast<std::uint64_t>(retry_index) + 1));
+  const std::int64_t half = d / 2;
+  const std::int64_t span = d - half + 1;
+  return half + static_cast<std::int64_t>(
+                    draw % static_cast<std::uint64_t>(span));
+}
+
+RetryBudget::RetryBudget(std::int64_t max_retries)
+    : capacity_(std::max<std::int64_t>(max_retries, 0) * kTokenScale),
+      tokens_(capacity_) {}
+
+bool RetryBudget::try_acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < kTokenScale) {
+    ++exhausted_;
+    obs::count("service.retry.budget_exhausted");
+    return false;
+  }
+  tokens_ -= kTokenScale;
+  ++granted_;
+  return true;
+}
+
+void RetryBudget::on_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(capacity_, tokens_ + 1);
+}
+
+std::int64_t RetryBudget::retries_granted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return granted_;
+}
+
+std::int64_t RetryBudget::exhausted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exhausted_;
+}
+
+RetryingClient::RetryingClient(ClientOptions options, RetryPolicy policy,
+                               RetryBudget* budget)
+    : options_(std::move(options)), policy_(policy), budget_(budget) {}
+
+Result<std::string> RetryingClient::attempt_once(
+    const CompileRequest& request) {
+  obs::count("service.retry.attempts");
+  try {
+    if (!conn_.has_value()) conn_.emplace(options_);
+    return conn_->compile(request);
+  } catch (const std::exception& e) {
+    // Transport failures (connect refused, torn reply) poison the
+    // connection; the next attempt reconnects from scratch.
+    conn_.reset();
+    return diagnostic_from_exception(e);
+  }
+}
+
+Result<std::string> RetryingClient::compile(const CompileRequest& request) {
+  Result<std::string> outcome = attempt_once(request);
+  for (int retry = 0; retry < policy_.max_retries; ++retry) {
+    if (outcome.ok()) break;
+    if (!retryable(outcome.error().code)) break;
+    if (budget_ != nullptr && !budget_->try_acquire()) {
+      // Budget dry: stop amplifying the outage. Typed, never a spin.
+      Diagnostic diag;
+      diag.code = ErrorCode::kUnavailable;
+      diag.message =
+          "retry budget exhausted after typed failure [" +
+          std::string(error_code_name(outcome.error().code)) + "]: " +
+          outcome.error().message +
+          " (docs/RELIABILITY.md \"Retry policy\")";
+      return diag;
+    }
+    const std::int64_t sleep_ms = retry_backoff_ms(policy_, retry);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    obs::count("service.retry.retries");
+    outcome = attempt_once(request);
+  }
+  if (outcome.ok()) {
+    obs::count("service.retry.successes");
+    if (budget_ != nullptr) budget_->on_success();
+  } else {
+    obs::count("service.retry.giveups");
+  }
+  return outcome;
+}
+
+}  // namespace sdf::svc

@@ -1,0 +1,115 @@
+// Client-side retry policy for the compile service
+// (docs/RELIABILITY.md, "Retry policy").
+//
+// Three pieces, composable and individually testable:
+//
+//   retryable(code)  — the taxonomy: which typed failures are worth a
+//                      second attempt. Transient conditions (kIo broken
+//                      connections, kOverloaded admission rejections,
+//                      kUnavailable fleet outages) are; deterministic
+//                      rejections (kParse, kBadArgument, kUnknownTenant,
+//                      ...) never are — retrying them burns capacity to
+//                      get the same answer.
+//   RetryPolicy      — exponential backoff with deterministic seeded
+//                      jitter: attempt k sleeps a value drawn from
+//                      [d/2, d] where d = min(max, base * 2^k), keyed by
+//                      (seed, k) through splitmix64. Same seed, same
+//                      sleeps — chaos schedules replay exactly.
+//   RetryBudget      — a per-process token bucket that bounds the
+//                      *total* retry volume: each retry spends a token,
+//                      each success refunds a tenth. When a fleet
+//                      degrades, clients back off collectively instead
+//                      of amplifying the outage with a retry storm; an
+//                      exhausted budget surfaces as a typed
+//                      kUnavailable, never a silent spin.
+//
+// RetryingClient wires the three around service/client.h: one logical
+// compile() that reconnects between attempts (the previous connection
+// usually died with the failure) and returns the last typed error when
+// retries are exhausted.
+//
+// Counters (docs/OBSERVABILITY.md): service.retry.attempts / retries /
+// successes / giveups / budget_exhausted.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "service/client.h"
+#include "util/status.h"
+
+namespace sdf::svc {
+
+/// True when a failure with this code may succeed on a retry.
+[[nodiscard]] bool retryable(ErrorCode code) noexcept;
+
+struct RetryPolicy {
+  /// Additional attempts after the first; 0 disables retrying.
+  int max_retries = 0;
+  /// Backoff before retry k is drawn from [d/2, d], d = min(max,
+  /// base * 2^k).
+  int base_backoff_ms = 10;
+  int max_backoff_ms = 2000;
+  /// Jitter seed; fixed seed = byte-reproducible schedules.
+  std::uint64_t seed = 0;
+};
+
+/// The deterministic backoff before retry `retry_index` (0-based).
+[[nodiscard]] std::int64_t retry_backoff_ms(const RetryPolicy& policy,
+                                            int retry_index) noexcept;
+
+/// Process-wide retry token bucket. `max_retries` tokens; a retry spends
+/// one whole token, a success refunds a tenth (so sustained retrying
+/// needs a 10:1 success ratio to break even — the classic anti-storm
+/// shape). Thread-safe.
+class RetryBudget {
+ public:
+  explicit RetryBudget(std::int64_t max_retries);
+
+  /// Spends one retry token. False (and counted) when the bucket is dry.
+  [[nodiscard]] bool try_acquire();
+
+  /// Refunds a tenth of a token after a successful attempt.
+  void on_success();
+
+  [[nodiscard]] std::int64_t retries_granted() const;
+  [[nodiscard]] std::int64_t exhausted_count() const;
+
+ private:
+  static constexpr std::int64_t kTokenScale = 10;  ///< deci-tokens
+
+  mutable std::mutex mu_;
+  std::int64_t capacity_;  ///< in deci-tokens
+  std::int64_t tokens_;
+  std::int64_t granted_ = 0;
+  std::int64_t exhausted_ = 0;
+};
+
+/// A Client wrapper that retries transient failures under a policy and
+/// an optional shared budget. Each attempt runs on a fresh connection
+/// when the previous one broke; non-retryable typed errors return
+/// immediately and untouched.
+class RetryingClient {
+ public:
+  /// `budget` may be nullptr (bounded by max_retries alone) and is not
+  /// owned; share one instance across every client in the process.
+  RetryingClient(ClientOptions options, RetryPolicy policy,
+                 RetryBudget* budget = nullptr);
+
+  /// compile() with retries. The error branch is always typed: the last
+  /// server/transport diagnostic, or kUnavailable when the retry budget
+  /// ran dry first.
+  [[nodiscard]] Result<std::string> compile(const CompileRequest& request);
+
+ private:
+  [[nodiscard]] Result<std::string> attempt_once(
+      const CompileRequest& request);
+
+  ClientOptions options_;
+  RetryPolicy policy_;
+  RetryBudget* budget_;
+  std::optional<Client> conn_;
+};
+
+}  // namespace sdf::svc

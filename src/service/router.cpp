@@ -13,6 +13,7 @@
 #include "obs/json_report.h"
 #include "sdf/diagnostics.h"
 #include "sdf/io.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/shutdown.h"
 
@@ -80,12 +81,22 @@ Result<WorkerConfig> parse_worker_spec(std::string_view spec) {
   return cfg;
 }
 
+std::string_view breaker_state_name(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "closed";
+}
+
 Router::Router(RouterOptions options)
     : options_(std::move(options)), ring_(options_.vnodes) {
   if (options_.workers.empty()) {
     throw BadArgumentError("route: no workers configured (need --worker)");
   }
   if (options_.worker_timeout_ms <= 0) options_.worker_timeout_ms = 60000;
+  if (options_.breaker_threshold < 1) options_.breaker_threshold = 1;
   for (const WorkerConfig& cfg : options_.workers) {
     if (workers_.count(cfg.id) > 0) {
       throw BadArgumentError("route: duplicate worker id '" + cfg.id + "'");
@@ -122,6 +133,9 @@ void Router::start() {
     throw BadArgumentError("route: no listener configured "
                            "(need --socket and/or --port)");
   }
+  // A worker dying mid-relay turns the next send into EPIPE, not a
+  // process-killing SIGPIPE.
+  ignore_sigpipe();
   if (!options_.socket_path.empty()) {
     unix_fd_ = listen_unix(options_.socket_path);
   }
@@ -153,7 +167,13 @@ void Router::run() {
     for (nfds_t i = 0; i < nfds; ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
       const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      // EINTR (and any other accept error) falls back to the poll loop —
+      // never treated as a listener failure.
       if (conn < 0) continue;
+      if (fault::enabled() && fault::should_fail("svc_accept")) {
+        ::close(conn);  // injected: the accepted connection is dropped
+        continue;
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.connections;
@@ -265,28 +285,73 @@ void Router::handle_route(int fd, std::string_view payload) {
   route_with_failover(fd, payload, key, have_cache_key);
 }
 
-std::vector<std::string> Router::live_preference(std::uint64_t key) const {
+std::string Router::acquire_owner(std::uint64_t key,
+                                  const std::vector<std::string>& exclude) {
   const std::vector<std::string> order = ring_.owners(key, workers_.size());
-  std::vector<std::string> live;
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::string& id : order) {
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
     const auto it = workers_.find(id);
-    if (it != workers_.end() && it->second.alive) live.push_back(id);
+    if (it == workers_.end()) continue;
+    WorkerState& st = it->second;
+    if (st.breaker == BreakerState::kOpen) continue;
+    if (st.breaker == BreakerState::kHalfOpen) {
+      // One trial at a time: the first request through claims the slot;
+      // everyone else skips to the next routable worker until the trial
+      // settles the breaker one way or the other.
+      if (st.trial_inflight) continue;
+      st.trial_inflight = true;
+    }
+    return id;
   }
-  return live;
+  return {};
+}
+
+std::vector<std::string> Router::peer_candidates(
+    std::uint64_t key, const std::string& owner,
+    const std::vector<std::string>& exclude) const {
+  const std::vector<std::string> order = ring_.owners(key, workers_.size());
+  std::vector<std::string> peers;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& id : order) {
+    if (id == owner) continue;
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
+    const auto it = workers_.find(id);
+    if (it == workers_.end()) continue;
+    // Closed breakers only: open workers take no traffic, and half-open
+    // trials stay single-file through acquire_owner.
+    if (it->second.breaker != BreakerState::kClosed) continue;
+    if (!it->second.peer_support) continue;
+    peers.push_back(id);
+  }
+  return peers;
 }
 
 void Router::route_with_failover(int fd, std::string_view payload,
                                  std::uint64_t key, bool have_cache_key) {
-  // Each failed attempt marks its owner dead, so at most one attempt per
-  // configured worker — the loop cannot spin.
+  // Each failed attempt lands its owner on the per-request exclusion
+  // list, so at most one attempt per configured worker — the loop cannot
+  // spin even while the breaker threshold keeps a flaky worker routable.
+  std::vector<std::string> excluded;
   for (std::size_t attempt = 0; attempt < options_.workers.size();
        ++attempt) {
-    const std::vector<std::string> live = live_preference(key);
-    if (live.empty()) break;
-    const std::string& owner = live.front();
+    const std::string owner = acquire_owner(key, excluded);
+    if (owner.empty()) break;
+    const auto reroute_after = [&](const std::string& id) {
+      record_failure(id);
+      excluded.push_back(id);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rerouted;
+      obs::count("service.route.rerouted");
+    };
     const int raw_fd = worker_connect(owner);
     if (raw_fd < 0) {
+      // worker_connect already recorded the breaker failure.
+      excluded.push_back(owner);
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.rerouted;
       obs::count("service.route.rerouted");
@@ -305,15 +370,13 @@ void Router::route_with_failover(int fd, std::string_view payload,
           worker_roundtrip(wfd.get(), FrameKind::kPeerLookupRequest,
                            encode_peer_lookup(key));
       if (!reply.has_value()) {
-        mark_dead(owner);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.rerouted;
-        obs::count("service.route.rerouted");
+        reroute_after(owner);
         continue;
       }
       if (reply->kind == FrameKind::kPeerLookupResponse &&
           !reply->payload.empty()) {
         // Shard hit: the owner's cache already had the bytes.
+        record_success(owner);
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.lookup_hits;
@@ -324,8 +387,10 @@ void Router::route_with_failover(int fd, std::string_view payload,
       }
       if (reply->kind == FrameKind::kErrorResponse) {
         // Pre-fleet worker: it answered the peer frame with a bad-frame
-        // error and closed the connection. Remember, reconnect, and fall
-        // back to plain forwarding for this worker from now on.
+        // error and closed the connection — a transport-level success as
+        // far as the breaker cares. Remember, reconnect, and fall back
+        // to plain forwarding for this worker from now on.
+        record_success(owner);
         {
           std::lock_guard<std::mutex> lock(mu_);
           workers_[owner].peer_support = false;
@@ -333,6 +398,7 @@ void Router::route_with_failover(int fd, std::string_view payload,
         owner_peer_support = false;
         const int refd = worker_connect(owner);
         if (refd < 0) {
+          excluded.push_back(owner);
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.rerouted;
           obs::count("service.route.rerouted");
@@ -340,25 +406,16 @@ void Router::route_with_failover(int fd, std::string_view payload,
         }
         wfd.reset(refd);
       } else if (reply->kind != FrameKind::kPeerLookupResponse) {
-        mark_dead(owner);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.rerouted;
-        obs::count("service.route.rerouted");
+        reroute_after(owner);
         continue;
       } else {
-        // Shard miss. Probe the remaining live workers: a peer that
-        // cached this key serves the client immediately and warms the
-        // owner so the shard heals.
-        for (std::size_t p = 1; p < live.size(); ++p) {
-          const std::string& peer = live[p];
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            const auto it = workers_.find(peer);
-            if (it == workers_.end() || !it->second.alive ||
-                !it->second.peer_support) {
-              continue;
-            }
-          }
+        // Shard miss — but the owner answered, which settles any trial.
+        // Probe the closed-breaker peers: one that cached this key
+        // serves the client immediately and warms the owner so the
+        // shard heals.
+        record_success(owner);
+        for (const std::string& peer :
+             peer_candidates(key, owner, excluded)) {
           const int praw = worker_connect(peer);
           if (praw < 0) continue;
           FdGuard pfd(praw);
@@ -366,16 +423,20 @@ void Router::route_with_failover(int fd, std::string_view payload,
               worker_roundtrip(pfd.get(), FrameKind::kPeerLookupRequest,
                                encode_peer_lookup(key));
           if (!probe.has_value()) {
-            mark_dead(peer);
+            record_failure(peer);
             continue;
           }
           if (probe->kind == FrameKind::kErrorResponse) {
+            record_success(peer);
             std::lock_guard<std::mutex> lock(mu_);
             workers_[peer].peer_support = false;
             continue;
           }
           if (probe->kind != FrameKind::kPeerLookupResponse ||
               probe->payload.empty()) {
+            if (probe->kind == FrameKind::kPeerLookupResponse) {
+              record_success(peer);  // peer miss: still a clean answer
+            }
             continue;
           }
           // Peer hit: warm the owner on the connection we already hold,
@@ -385,6 +446,7 @@ void Router::route_with_failover(int fd, std::string_view payload,
           // re-probes peers). The warm is durable on the owner before
           // its ack. A failed warm still serves the client; the next
           // request just probes again.
+          record_success(peer);
           {
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.peer_hits;
@@ -395,11 +457,12 @@ void Router::route_with_failover(int fd, std::string_view payload,
               encode_peer_insert(key, probe->payload));
           if (warm.has_value() &&
               warm->kind == FrameKind::kPeerInsertResponse) {
+            record_success(owner);
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.warms;
             obs::count("service.route.warms");
           } else if (!warm.has_value()) {
-            mark_dead(owner);
+            record_failure(owner);
           }
           send_frame(fd, FrameKind::kCompileResponse, probe->payload);
           return;
@@ -413,12 +476,10 @@ void Router::route_with_failover(int fd, std::string_view payload,
     const std::optional<Frame> reply =
         worker_roundtrip(wfd.get(), FrameKind::kCompileRequest, payload);
     if (!reply.has_value()) {
-      mark_dead(owner);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.rerouted;
-      obs::count("service.route.rerouted");
+      reroute_after(owner);
       continue;
     }
+    record_success(owner);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.compiles;
@@ -445,6 +506,11 @@ void Router::route_with_failover(int fd, std::string_view payload,
 
 std::optional<Frame> Router::worker_roundtrip(int wfd, FrameKind kind,
                                               std::string_view payload) {
+  if ((kind == FrameKind::kPeerLookupRequest ||
+       kind == FrameKind::kPeerInsertRequest) &&
+      fault::enabled() && fault::should_fail("svc_peer_timeout")) {
+    return std::nullopt;  // injected: the peer round-trip timed out
+  }
   if (!send_all(wfd, encode_frame(kind, payload))) return std::nullopt;
   FrameReader reader;
   Frame frame;
@@ -466,40 +532,92 @@ int Router::worker_connect(const std::string& id) {
   try {
     return connect_endpoint(ep);
   } catch (const std::exception&) {
-    mark_dead(id);
+    record_failure(id);
     return -1;
   }
 }
 
-void Router::mark_dead(const std::string& id) {
-  bool transition = false;
+void Router::record_failure(const std::string& id) {
+  bool opened = false;
+  bool reopened = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = workers_.find(id);
     if (it == workers_.end()) return;
-    ++it->second.failures;
-    if (it->second.alive) {
-      it->second.alive = false;
+    WorkerState& st = it->second;
+    ++st.failures;
+    ++st.consecutive_failures;
+    st.trial_inflight = false;
+    if (st.breaker == BreakerState::kHalfOpen) {
+      // The trial failed: straight back to open, no threshold grace.
+      st.breaker = BreakerState::kOpen;
       ++stats_.worker_down;
-      transition = true;
+      ++stats_.breaker_reopen;
+      reopened = true;
+    } else if (st.breaker == BreakerState::kClosed &&
+               st.consecutive_failures >= options_.breaker_threshold) {
+      st.breaker = BreakerState::kOpen;
+      ++stats_.worker_down;
+      opened = true;
     }
     note_workers_alive_locked();
   }
-  if (transition) obs::count("service.route.worker_down");
+  if (opened) {
+    obs::count("service.route.worker_down");
+    obs::count("service.route.breaker_open");
+  }
+  if (reopened) {
+    obs::count("service.route.worker_down");
+    obs::count("service.route.breaker_reopen");
+  }
 }
 
-void Router::mark_alive(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = workers_.find(id);
-  if (it == workers_.end() || it->second.alive) return;
-  it->second.alive = true;
-  note_workers_alive_locked();
+void Router::record_success(const std::string& id) {
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = workers_.find(id);
+    if (it == workers_.end()) return;
+    WorkerState& st = it->second;
+    st.consecutive_failures = 0;
+    st.trial_inflight = false;
+    if (st.breaker == BreakerState::kHalfOpen) {
+      st.breaker = BreakerState::kClosed;
+      ++stats_.breaker_close;
+      closed = true;
+    }
+    note_workers_alive_locked();
+  }
+  if (closed) obs::count("service.route.breaker_close");
+}
+
+void Router::note_probe_success(const std::string& id) {
+  bool half = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = workers_.find(id);
+    if (it == workers_.end()) return;
+    WorkerState& st = it->second;
+    if (st.breaker == BreakerState::kOpen) {
+      st.breaker = BreakerState::kHalfOpen;
+      st.trial_inflight = false;
+      ++stats_.breaker_half_open;
+      half = true;
+      note_workers_alive_locked();
+    } else if (st.breaker == BreakerState::kClosed) {
+      // A healthy probe wipes the streak so sporadic request failures
+      // spread over time never accumulate to a spurious open.
+      st.consecutive_failures = 0;
+    }
+    // Half-open: leave it alone — the in-flight trial request decides.
+  }
+  if (half) obs::count("service.route.breaker_half_open");
 }
 
 void Router::note_workers_alive_locked() {
   std::int64_t alive = 0;
   for (const auto& [id, st] : workers_) {
-    if (st.alive) ++alive;
+    if (st.breaker != BreakerState::kOpen) ++alive;
   }
   obs::gauge("service.route.workers_alive", alive);
 }
@@ -530,7 +648,7 @@ void Router::health_check_once() {
     FdGuard wfd(raw_fd);
     if (!send_all(wfd.get(),
                   encode_frame(FrameKind::kStatsRequest, ""))) {
-      mark_dead(id);
+      record_failure(id);
       continue;
     }
     FrameReader reader;
@@ -540,7 +658,7 @@ void Router::health_check_once() {
     const int probe_ms = std::min(options_.worker_timeout_ms, 2000);
     if (reader.read(wfd.get(), &frame, probe_ms) != ReadOutcome::kFrame ||
         frame.kind != FrameKind::kStatsResponse) {
-      mark_dead(id);
+      record_failure(id);
       continue;
     }
     bool pinned = false;
@@ -563,16 +681,21 @@ void Router::health_check_once() {
         reported = "\x01not-stats";
       }
       if (!reported.empty() && reported != id) {
-        mark_dead(id);
+        record_failure(id);
         continue;
       }
     }
-    mark_alive(id);
+    note_probe_success(id);
   }
 }
 
 void Router::send_frame(int fd, FrameKind kind, std::string_view payload) {
-  send_all(fd, encode_frame(kind, payload));
+  if (!send_all(fd, encode_frame(kind, payload))) {
+    // A half-sent reply is unrecoverable on this connection: shut the
+    // socket down so the client's blocking read sees EOF (a typed
+    // kClosed) instead of waiting forever on a torn frame.
+    ::shutdown(fd, SHUT_RDWR);
+  }
 }
 
 void Router::send_error(int fd, const Diagnostic& diag) {
@@ -592,7 +715,9 @@ RouterStats Router::stats() const {
   for (const auto& [id, st] : workers_) {
     RouterWorkerStats ws;
     ws.endpoint = st.cfg.endpoint.name();
-    ws.alive = st.alive;
+    ws.breaker = st.breaker;
+    ws.alive = st.breaker != BreakerState::kOpen;
+    ws.consecutive_failures = st.consecutive_failures;
     ws.peer_support = st.peer_support;
     ws.forwarded = st.forwarded;
     ws.failures = st.failures;
@@ -616,6 +741,9 @@ std::string Router::stats_json() const {
   doc["rerouted"] = snapshot.rerouted;
   doc["unavailable"] = snapshot.unavailable;
   doc["worker_down"] = snapshot.worker_down;
+  doc["breaker_half_open"] = snapshot.breaker_half_open;
+  doc["breaker_close"] = snapshot.breaker_close;
+  doc["breaker_reopen"] = snapshot.breaker_reopen;
   std::int64_t alive = 0;
   obs::Json workers = obs::Json::object();
   for (const auto& [id, ws] : snapshot.workers) {
@@ -623,6 +751,9 @@ std::string Router::stats_json() const {
     obs::Json w = obs::Json::object();
     w["endpoint"] = ws.endpoint;
     w["alive"] = ws.alive;
+    w["breaker"] = std::string(breaker_state_name(ws.breaker));
+    w["consecutive_failures"] =
+        static_cast<std::int64_t>(ws.consecutive_failures);
     w["peer_support"] = ws.peer_support;
     w["forwarded"] = ws.forwarded;
     w["failures"] = ws.failures;

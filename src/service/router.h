@@ -24,22 +24,33 @@
 //
 // Failure semantics — degrade, never hang: every worker round-trip has a
 // deadline (`worker_timeout_ms`). A connect failure, torn reply, or
-// timeout marks the worker dead and the request re-routes to the next
-// live worker on the ring (counted in `rerouted`); each attempt removes
-// a worker, so the loop terminates. When no live worker remains the
-// client gets a typed `unavailable` diagnostic (ErrorCode::kUnavailable,
-// exit 26) — an error frame, not a stalled connection. A health thread
-// re-probes every worker each `health_interval_ms` via stats frames, so
-// a restarted worker rejoins automatically; when the worker reports a
-// `worker_id` and the spec pinned one, a mismatch counts as down
-// (mis-wired socket, not routed to). Pre-fleet workers that answer peer
-// frames with an error are remembered as `peer_support = false` and
-// served by plain forwarding — version negotiation by behaviour, like
-// the v2 tenancy schema.
+// timeout counts against the worker's circuit breaker and the request
+// re-routes to the next live worker on the ring (counted in `rerouted`);
+// each worker is attempted at most once per request, so the loop
+// terminates. When no routable worker remains the client gets a typed
+// `unavailable` diagnostic (ErrorCode::kUnavailable, exit 26) — an error
+// frame, not a stalled connection.
+//
+// Circuit breakers (docs/RELIABILITY.md, "Circuit breakers"): each
+// worker carries a three-state breaker instead of a binary dead flag.
+// `closed` routes normally; `breaker_threshold` *consecutive* failures
+// open it (one flaky round-trip among successes does not). An `open`
+// worker takes no traffic until the health prober (stats frames, each
+// `health_interval_ms`) sees it answer again, which moves it to
+// `half_open`: exactly one in-flight trial request is allowed through —
+// success closes the breaker, failure re-opens it. A probe success on a
+// closed breaker also clears the failure streak, so sporadic failures
+// spread over time never accumulate to a spurious open. When the worker
+// reports a `worker_id` and the spec pinned one, a probe mismatch counts
+// as a failure (mis-wired socket, not routed to). Pre-fleet workers that
+// answer peer frames with an error are remembered as
+// `peer_support = false` and served by plain forwarding — version
+// negotiation by behaviour, like the v2 tenancy schema.
 //
 // Counters (docs/OBSERVABILITY.md): service.route.requests /
 // lookup_hits / peer_hits / warms / compiles / rerouted / worker_down /
-// unavailable, gauge service.route.workers_alive.
+// unavailable / breaker_open / breaker_half_open / breaker_close /
+// breaker_reopen, gauge service.route.workers_alive.
 #pragma once
 
 #include <atomic>
@@ -85,11 +96,21 @@ struct RouterOptions {
   /// compile slower than this is treated as a dead worker and re-routed;
   /// generous by default because the re-route recompiles from scratch.
   int worker_timeout_ms = 60000;
+  /// Consecutive failures that open a worker's circuit breaker. 1
+  /// reproduces the pre-breaker instant-dead behaviour.
+  int breaker_threshold = 3;
 };
+
+/// Per-worker circuit-breaker state (see the file comment).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] std::string_view breaker_state_name(BreakerState s) noexcept;
 
 struct RouterWorkerStats {
   std::string endpoint;
-  bool alive = true;
+  bool alive = true;  ///< derived: breaker != kOpen (dashboards, smoke)
+  BreakerState breaker = BreakerState::kClosed;
+  int consecutive_failures = 0;
   bool peer_support = true;
   std::int64_t forwarded = 0;  ///< compile requests sent to this worker
   std::int64_t failures = 0;   ///< connect/timeout/torn-reply events
@@ -106,7 +127,10 @@ struct RouterStats {
   std::int64_t compiles = 0;     ///< full compiles forwarded
   std::int64_t rerouted = 0;     ///< owner failed mid-request, retried
   std::int64_t unavailable = 0;  ///< requests failed: no live worker
-  std::int64_t worker_down = 0;  ///< alive -> dead transitions
+  std::int64_t worker_down = 0;  ///< breaker closed/half-open -> open
+  std::int64_t breaker_half_open = 0;  ///< open -> half-open (probe)
+  std::int64_t breaker_close = 0;      ///< half-open -> closed (trial ok)
+  std::int64_t breaker_reopen = 0;     ///< half-open -> open (trial bad)
   std::map<std::string, RouterWorkerStats> workers;
 };
 
@@ -145,7 +169,11 @@ class Router {
  private:
   struct WorkerState {
     WorkerConfig cfg;
-    bool alive = true;
+    BreakerState breaker = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    /// True while a half-open trial request is in flight; only one
+    /// request at a time probes a half-open worker.
+    bool trial_inflight = false;
     bool peer_support = true;
     std::int64_t forwarded = 0;
     std::int64_t failures = 0;
@@ -162,17 +190,30 @@ class Router {
   void send_error(int fd, const Diagnostic& diag);
 
   /// One bounded round-trip on an open worker connection; nullopt on
-  /// send failure, torn reply, or timeout (caller marks the worker dead).
+  /// send failure, torn reply, or timeout (caller records the failure).
   [[nodiscard]] std::optional<Frame> worker_roundtrip(
       int wfd, FrameKind kind, std::string_view payload);
-  /// Connects to a worker; -1 on failure (already marked dead).
+  /// Connects to a worker; -1 on failure (failure already recorded).
   [[nodiscard]] int worker_connect(const std::string& id);
-  void mark_dead(const std::string& id);
-  void mark_alive(const std::string& id);
+  /// One breaker failure: half-open re-opens, closed opens at the
+  /// threshold. Clears any trial claim this request held.
+  void record_failure(const std::string& id);
+  /// One breaker success: clears the failure streak; a half-open trial
+  /// success closes the breaker.
+  void record_success(const std::string& id);
+  /// Health-probe success: an open breaker becomes half-open (routable
+  /// for one trial); a closed one just clears its failure streak.
+  void note_probe_success(const std::string& id);
   void note_workers_alive_locked();
-  /// Live workers in failover preference order for `key`.
-  [[nodiscard]] std::vector<std::string> live_preference(
-      std::uint64_t key) const;
+  /// The first routable worker for `key` that is not in `exclude`;
+  /// claims the half-open trial slot when it takes one. Empty when none.
+  [[nodiscard]] std::string acquire_owner(
+      std::uint64_t key, const std::vector<std::string>& exclude);
+  /// Closed-breaker peers (preference order for `key`) for shard-miss
+  /// probing; never half-open workers — trials stay single-file.
+  [[nodiscard]] std::vector<std::string> peer_candidates(
+      std::uint64_t key, const std::string& owner,
+      const std::vector<std::string>& exclude) const;
   void health_loop();
   void health_check_once();
 

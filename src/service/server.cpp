@@ -8,6 +8,7 @@
 #include <chrono>
 #include <future>
 #include <utility>
+#include <vector>
 
 #include "obs/counters.h"
 #include "obs/json_report.h"
@@ -15,6 +16,7 @@
 #include "sdf/diagnostics.h"
 #include "sdf/io.h"
 #include "service/transport.h"
+#include "util/fault.h"
 #include "util/shutdown.h"
 
 namespace sdf::svc {
@@ -73,6 +75,7 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 
 Server::~Server() {
   stop();
+  if (scrub_.joinable()) scrub_.join();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (std::thread& t : connections_) {
@@ -95,6 +98,9 @@ void Server::start() {
     throw BadArgumentError("serve: no listener configured "
                            "(need --socket and/or --port)");
   }
+  // A client that hangs up mid-response turns the next send into EPIPE,
+  // not a process-killing SIGPIPE.
+  ignore_sigpipe();
   if (!options_.socket_path.empty()) {
     unix_fd_ = listen_unix(options_.socket_path);
   }
@@ -105,6 +111,9 @@ void Server::start() {
       close_fd(unix_fd_);
       throw;
     }
+  }
+  if (cache_.has_value() && options_.scrub_interval_ms > 0) {
+    scrub_ = std::thread([this] { scrub_loop(); });
   }
 }
 
@@ -123,7 +132,13 @@ void Server::run() {
     for (nfds_t i = 0; i < nfds; ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
       const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      // EINTR (and any other accept error) falls back to the poll loop —
+      // never treated as a listener failure.
       if (conn < 0) continue;
+      if (fault::enabled() && fault::should_fail("svc_accept")) {
+        ::close(conn);  // injected: the accepted connection is dropped
+        continue;
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.connections;
@@ -246,6 +261,13 @@ void Server::handle_compile(int fd, std::string_view payload) {
     ++stats_.requests;
   }
   obs::count("service.requests");
+
+  if (fault::enabled() && fault::should_fail("svc_worker_stall")) {
+    // Injected stall: long enough to trip a chaos-tuned router deadline
+    // (worker_timeout_ms well under 400 ms), short enough that test
+    // teardown drains promptly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
 
   Result<CompileRequest> parsed = parse_compile_request(payload);
   if (!parsed.ok()) {
@@ -482,14 +504,15 @@ void Server::handle_compile(int fd, std::string_view payload) {
                  tenant_settings->cache_quota_bytes;
     }
     if (quota_ok) {
-      cache_store(key, response);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.tenants[tenant].cache_inserts;
-        stats_.tenants[tenant].cache_bytes +=
-            static_cast<std::int64_t>(response.size());
+      if (cache_store(key, response)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.tenants[tenant].cache_inserts;
+          stats_.tenants[tenant].cache_bytes +=
+              static_cast<std::int64_t>(response.size());
+        }
+        obs::count("service.tenant." + tenant + ".cache_inserts");
       }
-      obs::count("service.tenant." + tenant + ".cache_inserts");
     } else {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -521,9 +544,41 @@ std::optional<std::string> Server::cache_fetch(std::uint64_t key) {
   return hit;
 }
 
-void Server::cache_store(std::uint64_t key, std::string_view payload) {
-  if (cache_.has_value()) cache_->insert(key, payload);
+bool Server::cache_store(std::uint64_t key, std::string_view payload) {
+  try {
+    if (cache_.has_value()) cache_->insert(key, payload);
+  } catch (const std::exception&) {
+    // A failed durable insert (disk full, injected svc_cache_write)
+    // degrades to an uncached response — the client still gets its
+    // bytes; only this key's next request pays a recompile. The hot
+    // tier is skipped: it must only hold disk-vouched bytes.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.cache_write_failures;
+    }
+    obs::count("service.cache.write_failures");
+    return false;
+  }
   if (hot_.has_value()) hot_->insert(key, payload);
+  return true;
+}
+
+void Server::scrub_loop() {
+  for (;;) {
+    for (int waited = 0;
+         waited < options_.scrub_interval_ms && !stop_requested();
+         waited += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (stop_requested()) return;
+    const std::vector<std::uint64_t> quarantined = cache_->scrub_once();
+    // A quarantined key's hot-tier copy is dropped too: the disk tier no
+    // longer vouches for those bytes, so the next read must be a clean
+    // miss -> recompile, not a resident stale copy.
+    if (hot_.has_value()) {
+      for (const std::uint64_t key : quarantined) hot_->erase(key);
+    }
+  }
 }
 
 // Fleet peering (docs/SERVICE.md "Fleet mode"): the router asks this
@@ -569,7 +624,14 @@ void Server::handle_peer_insert(int fd, std::string_view payload) {
     send_error(fd, diag);
     return;
   }
-  cache_store(parsed.value().key, parsed.value().object);
+  if (!cache_store(parsed.value().key, parsed.value().object)) {
+    // The router must not count a warm that is not durable here.
+    Diagnostic diag;
+    diag.code = ErrorCode::kIo;
+    diag.message = "peer insert: durable cache write failed";
+    send_error(fd, diag);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.peer_inserts;
@@ -579,7 +641,12 @@ void Server::handle_peer_insert(int fd, std::string_view payload) {
 }
 
 void Server::send_frame(int fd, FrameKind kind, std::string_view payload) {
-  send_all(fd, encode_frame(kind, payload));
+  if (!send_all(fd, encode_frame(kind, payload))) {
+    // A half-sent reply is unrecoverable on this connection: shut the
+    // socket down so the peer's blocking read sees EOF (a typed kClosed)
+    // instead of waiting forever on a frame that will never complete.
+    ::shutdown(fd, SHUT_RDWR);
+  }
 }
 
 void Server::send_error(int fd, const Diagnostic& diag) {
@@ -652,6 +719,10 @@ std::string Server::stats_json() const {
     cache["hot_evictions"] = hs.evictions;
     cache["hot_bytes"] = hs.bytes;
     cache["hot_entries"] = hs.entries;
+    cache["scrub_passes"] = cs.scrub_passes;
+    cache["scrub_checked"] = cs.scrub_checked;
+    cache["scrub_quarantined"] = cs.scrub_quarantined;
+    cache["write_failures"] = snapshot.cache_write_failures;
   }
   doc["cache"] = std::move(cache);
   obs::Json peer = obs::Json::object();

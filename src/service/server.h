@@ -47,8 +47,17 @@
 // the index survives even SIGKILL. The CLI maps a signal-initiated drain
 // to exit code 23 (kInterrupted).
 //
+// Background cache scrubbing (docs/RELIABILITY.md "Cache scrubber"):
+// with `scrub_interval_ms > 0` a housekeeping thread CRC-walks the
+// object store between intervals, quarantines entries whose bytes no
+// longer verify (service/cache.h scrub_once), and drops their hot-tier
+// copies — silent disk corruption becomes a clean miss followed by a
+// recompile, never a served wrong answer.
+//
 // Telemetry (docs/OBSERVABILITY.md): service.requests,
-// service.cache.{hits,misses,inserts,corrupt}, service.overloaded,
+// service.cache.{hits,misses,inserts,corrupt}, the scrubber family
+// service.cache.{scrub_passes,scrub_quarantined,write_failures},
+// service.overloaded,
 // service.shed_degraded, service.errors, gauge service.queue_depth, the
 // latency histogram counters service.latency_le_us.<bound>, and the
 // per-tenant family service.tenant.<name>.{requests,cache_hits,
@@ -90,6 +99,9 @@ struct ServerOptions {
   /// bytes of response payloads kept resident. 0 disables the tier.
   /// Only meaningful with a cache_dir — the hot tier fronts the store.
   std::int64_t hot_tier_bytes = 32ll << 20;
+  /// Period of the background cache scrubber; <= 0 disables it. Only
+  /// meaningful with a cache_dir.
+  int scrub_interval_ms = 0;
   /// Stable identity reported in stats_json() ("worker_id"); the fleet
   /// router health-checks it against its configuration so a socket that
   /// was taken over by a different worker is caught, not routed to.
@@ -159,6 +171,9 @@ struct ServerStats {
   std::int64_t peer_inserts = 0;   ///< fleet warm inserts accepted
   std::int64_t connections = 0;
   std::int64_t max_queue_depth = 0;
+  /// Durable cache inserts that failed (disk full, injected fault); the
+  /// response was still served, just not cached.
+  std::int64_t cache_write_failures = 0;
   LatencyHistogram latency;
   std::map<std::string, TenantStats> tenants;
 };
@@ -202,8 +217,12 @@ class Server {
   /// Tiered read: hot tier first, then the verified disk read (which
   /// also warms the hot tier). nullopt when both miss or no cache.
   [[nodiscard]] std::optional<std::string> cache_fetch(std::uint64_t key);
-  /// Tiered write: durable disk insert plus hot-tier population.
-  void cache_store(std::uint64_t key, std::string_view payload);
+  /// Tiered write: durable disk insert plus hot-tier population. False
+  /// when the durable insert failed (counted; the hot tier is skipped —
+  /// it must only hold what the disk tier vouches for).
+  bool cache_store(std::uint64_t key, std::string_view payload);
+  /// Background scrubber body (see the file comment).
+  void scrub_loop();
   void send_frame(int fd, FrameKind kind, std::string_view payload);
   void send_error(int fd, const Diagnostic& diag);
   /// Records into the global histogram always, and into the tenant's
@@ -224,6 +243,7 @@ class Server {
 
   std::mutex conn_mu_;
   std::vector<std::thread> connections_;
+  std::thread scrub_;
 
   mutable std::mutex mu_;  ///< stats
   ServerStats stats_;

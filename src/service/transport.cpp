@@ -1,6 +1,7 @@
 #include "service/transport.h"
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -11,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "util/fault.h"
 #include "util/status.h"
 
 namespace sdf::svc {
@@ -36,6 +38,33 @@ namespace {
   return addr;
 }
 
+/// connect() with EINTR handled correctly. A blocking connect interrupted
+/// by a signal keeps establishing in the background (POSIX); re-calling
+/// connect() would yield a spurious EALREADY/EISCONN. Wait for the socket
+/// to become writable, then read the real result from SO_ERROR.
+[[nodiscard]] int connect_eintr(int fd, const sockaddr* addr,
+                                socklen_t len) noexcept {
+  if (::connect(fd, addr, len) == 0) return 0;
+  if (errno != EINTR) return -1;
+  for (;;) {
+    pollfd p{fd, POLLOUT, 0};
+    const int r = ::poll(&p, 1, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r > 0) break;
+  }
+  int err = 0;
+  socklen_t elen = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &elen) != 0) return -1;
+  if (err != 0) {
+    errno = err;
+    return -1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 void close_fd(int& fd) noexcept {
@@ -45,7 +74,12 @@ void close_fd(int& fd) noexcept {
   }
 }
 
+void ignore_sigpipe() noexcept { std::signal(SIGPIPE, SIG_IGN); }
+
 bool send_all(int fd, std::string_view data) noexcept {
+  if (fault::enabled() && fault::should_fail("svc_send_short")) {
+    return false;  // injected: the peer vanished mid-write
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
@@ -60,6 +94,9 @@ bool send_all(int fd, std::string_view data) noexcept {
 }
 
 void send_all_or_throw(int fd, std::string_view data) {
+  if (fault::enabled() && fault::should_fail("svc_send_short")) {
+    throw IoError("client: send(): injected svc_send_short fault");
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
@@ -119,8 +156,8 @@ int connect_unix(const std::string& path) {
   if (fd < 0) {
     throw IoError(std::string("client: socket(): ") + std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
+  if (connect_eintr(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) != 0) {
     const std::string detail = std::strerror(errno);
     close_fd(fd);
     throw IoError("client: cannot connect to " + path + ": " + detail);
@@ -138,8 +175,8 @@ int connect_tcp(int port) {
     throw IoError(std::string("client: socket(): ") + std::strerror(errno));
   }
   const sockaddr_in addr = loopback_addr(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
+  if (connect_eintr(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) != 0) {
     const std::string detail = std::strerror(errno);
     close_fd(fd);
     throw IoError("client: cannot connect to 127.0.0.1:" +
@@ -192,6 +229,12 @@ ReadOutcome FrameReader::read(int fd, Frame* out, int timeout_ms) {
       return ReadOutcome::kClosed;
     }
     if (n == 0) return ReadOutcome::kClosed;
+    if (fault::enabled() && fault::should_fail("svc_recv_torn")) {
+      // Injected: the stream tears here — whatever was buffered is a
+      // torn frame, exactly like a peer dying mid-send.
+      buffer_.clear();
+      return ReadOutcome::kClosed;
+    }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

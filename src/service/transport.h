@@ -23,6 +23,12 @@ namespace sdf::svc {
 /// close() + reset to -1; no-op on -1. Safe on any thread.
 void close_fd(int& fd) noexcept;
 
+/// Ignores SIGPIPE process-wide (idempotent). Every send here already
+/// passes MSG_NOSIGNAL, but library users and stdio can still write to a
+/// dead pipe; a daemon must never die for that. Called from server,
+/// router, and client setup.
+void ignore_sigpipe() noexcept;
+
 /// Writes all of `data` (MSG_NOSIGNAL, EINTR-retried). False when the
 /// peer went away — callers on the serving side just drop the connection.
 [[nodiscard]] bool send_all(int fd, std::string_view data) noexcept;

@@ -19,9 +19,14 @@ std::atomic<bool> g_enabled{false};
 namespace {
 
 const std::vector<std::string_view> kSites = {
-    "parse_oom", "io_open",    "dp_mem",     "dp_deadline",
-    "explore_point", "pool_spawn", "batch_kill",
+    "parse_oom",       "io_open",        "dp_mem",
+    "dp_deadline",     "explore_point",  "pool_spawn",
+    "batch_kill",      "svc_accept",     "svc_recv_torn",
+    "svc_send_short",  "svc_peer_timeout", "svc_cache_read",
+    "svc_cache_write", "svc_worker_stall",
 };
+
+constexpr std::size_t kSiteCount = 14;  // keep in sync with kSites
 
 struct ArmedSite {
   std::int64_t window = 0;  ///< the n of "site:n"; fire check in [1, n]
@@ -31,7 +36,7 @@ struct ArmedSite {
 struct Config {
   std::uint64_t seed = 0;
   // Index-aligned with kSites; window == 0 means unarmed.
-  ArmedSite sites[7];
+  ArmedSite sites[kSiteCount];
   // Counters for checks outside any Context (serial code paths).
   std::mutex global_mu;
   std::map<std::string, std::int64_t, std::less<>> global_checks;

@@ -39,6 +39,20 @@ namespace sdf::fault {
 ///   pool_spawn   — ThreadPool worker-thread creation failure
 ///   batch_kill   — raises SIGKILL after a durable journal append
 ///                  (util/journal.h) — the crash-matrix hook
+///
+/// Service-layer sites (docs/RELIABILITY.md, "Chaos testing"):
+///   svc_accept      — server/router accept loop: the accepted
+///                     connection is dropped before it is served
+///   svc_recv_torn   — FrameReader: the stream tears mid-frame
+///                     (surfaces as ReadOutcome::kClosed)
+///   svc_send_short  — send_all / send_all_or_throw: the write fails
+///                     as if the peer vanished
+///   svc_peer_timeout— router peer round-trip (lookup/warm) times out
+///   svc_cache_read  — cache/hot-tier object read fails verification
+///                     (treated as a corrupt object: dropped, miss)
+///   svc_cache_write — cache insert fails with an IoError (disk full)
+///   svc_worker_stall— server stalls a compile long enough to trip the
+///                     router's worker deadline
 [[nodiscard]] const std::vector<std::string_view>& known_sites();
 
 /// Installs a fault spec ("site:n,site:n" — see file comment), replacing

@@ -75,10 +75,15 @@ TEST_F(Faults, KnownSitesListIsClosedAndCoveredHere) {
   // point must be added both to fault.cpp and to this matrix.
   // batch_kill raises SIGKILL from inside a journal append, so it is
   // forced from a fork()ed child in tests/test_batch_resume.cpp rather
-  // than here.
+  // than here; the svc_* service sites need a live daemon/router/cache
+  // and are forced end-to-end in tests/test_chaos.cpp and
+  // tests/test_transport.cpp.
   const std::vector<std::string_view> expected = {
-      "parse_oom", "io_open", "dp_mem", "dp_deadline", "explore_point",
-      "pool_spawn", "batch_kill",
+      "parse_oom",       "io_open",        "dp_mem",
+      "dp_deadline",     "explore_point",  "pool_spawn",
+      "batch_kill",      "svc_accept",     "svc_recv_torn",
+      "svc_send_short",  "svc_peer_timeout", "svc_cache_read",
+      "svc_cache_write", "svc_worker_stall",
   };
   EXPECT_EQ(fault::known_sites(), expected);
 }

@@ -299,6 +299,9 @@ TEST(Fleet, NoLiveWorkerYieldsTypedUnavailable) {
   ropts.socket_path = scratch.sock("router");
   ropts.workers.push_back(worker_config(scratch, "ghost"));  // never started
   ropts.health_interval_ms = 0;
+  // One failure opens the breaker — this test pins the instant-dead
+  // behaviour of a single-shot outage.
+  ropts.breaker_threshold = 1;
   RunningRouter router(ropts);
 
   const Result<std::string> response =

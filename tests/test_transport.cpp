@@ -1,0 +1,177 @@
+// Transport robustness tests (service/transport.h): the framing layer
+// driven over socketpairs — deadline expiry mid-frame, partial reads
+// dribbled through FrameReader, zero-byte close, oversized-length
+// rejection — plus the SIGPIPE and injected-fault (svc_send_short /
+// svc_recv_torn) contracts every service layer above relies on.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "sdf/diagnostics.h"
+#include "service/protocol.h"
+#include "service/transport.h"
+#include "util/fault.h"
+
+namespace sdf::svc {
+namespace {
+
+/// A connected Unix stream socketpair; a[0] is "ours", a[1] the peer's.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  }
+  ~SocketPair() {
+    close_fd(fds[0]);
+    close_fd(fds[1]);
+  }
+
+  void close_peer() { close_fd(fds[1]); }
+};
+
+class Transport : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::clear(); }
+};
+
+TEST_F(Transport, FullFrameRoundTripsThroughReader) {
+  SocketPair sp;
+  const std::string wire = encode_frame(FrameKind::kPing, "hello frames");
+  ASSERT_TRUE(send_all(sp.fds[1], wire));
+  FrameReader reader;
+  Frame frame;
+  ASSERT_EQ(reader.read(sp.fds[0], &frame, 1000), ReadOutcome::kFrame);
+  EXPECT_EQ(frame.kind, FrameKind::kPing);
+  EXPECT_EQ(frame.payload, "hello frames");
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST_F(Transport, DeadlineExpiryMidFrameIsTimeoutNotHang) {
+  SocketPair sp;
+  const std::string wire = encode_frame(FrameKind::kPing, "torn");
+  // Only half the frame ever arrives; the reader must give up at its
+  // total deadline with the partial bytes still buffered.
+  ASSERT_TRUE(send_all(sp.fds[1], wire.substr(0, kHeaderBytes - 4)));
+  FrameReader reader;
+  Frame frame;
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_EQ(reader.read(sp.fds[0], &frame, 100), ReadOutcome::kTimeout);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  EXPECT_GE(waited.count(), 90);
+  EXPECT_LT(waited.count(), 5000);  // a deadline, not a hang
+  EXPECT_TRUE(reader.mid_frame());
+}
+
+TEST_F(Transport, PartialWritesReassembleIntoFrames) {
+  SocketPair sp;
+  const std::string wire =
+      encode_frame(FrameKind::kPong, std::string(300, 'x')) +
+      encode_frame(FrameKind::kPing, "second");
+  // Dribble both frames a few bytes at a time from a writer thread; the
+  // reader must reassemble each frame and keep the follow-on bytes that
+  // arrive in the same recv() for the next read() call.
+  std::thread writer([&] {
+    for (std::size_t at = 0; at < wire.size(); at += 7) {
+      ASSERT_TRUE(
+          send_all(sp.fds[1], std::string_view(wire).substr(at, 7)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  FrameReader reader;
+  Frame frame;
+  ASSERT_EQ(reader.read(sp.fds[0], &frame, 5000), ReadOutcome::kFrame);
+  EXPECT_EQ(frame.kind, FrameKind::kPong);
+  EXPECT_EQ(frame.payload, std::string(300, 'x'));
+  ASSERT_EQ(reader.read(sp.fds[0], &frame, 5000), ReadOutcome::kFrame);
+  EXPECT_EQ(frame.kind, FrameKind::kPing);
+  EXPECT_EQ(frame.payload, "second");
+  writer.join();
+}
+
+TEST_F(Transport, ZeroByteCloseIsClosedNotError) {
+  SocketPair sp;
+  sp.close_peer();  // EOF before any byte
+  FrameReader reader;
+  Frame frame;
+  EXPECT_EQ(reader.read(sp.fds[0], &frame, 1000), ReadOutcome::kClosed);
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST_F(Transport, CloseMidFrameIsClosed) {
+  SocketPair sp;
+  const std::string wire = encode_frame(FrameKind::kPing, "will tear");
+  ASSERT_TRUE(send_all(sp.fds[1], wire.substr(0, wire.size() - 3)));
+  sp.close_peer();
+  FrameReader reader;
+  Frame frame;
+  EXPECT_EQ(reader.read(sp.fds[0], &frame, 1000), ReadOutcome::kClosed);
+}
+
+TEST_F(Transport, OversizedLengthIsRejectedBeforeBuffering) {
+  SocketPair sp;
+  // Hand-build a header whose length field exceeds kMaxPayloadBytes; the
+  // reader must reject it from the 16 header bytes alone instead of
+  // trying to buffer 4 GiB.
+  std::string header(kMagic);
+  header.push_back(static_cast<char>(FrameKind::kPing));
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  header.append(4, '\0');  // CRC, never reached
+  ASSERT_EQ(header.size(), kHeaderBytes);
+  ASSERT_TRUE(send_all(sp.fds[1], header));
+  FrameReader reader;
+  Frame frame;
+  EXPECT_EQ(reader.read(sp.fds[0], &frame, 1000), ReadOutcome::kBadFrame);
+  EXPECT_EQ(reader.last_decode(), DecodeStatus::kTooLarge);
+}
+
+TEST_F(Transport, SendToClosedPeerFailsTypedNotSigpipe) {
+  // The process-wide guarantee the server/router/client all rely on: a
+  // peer that hangs up mid-conversation turns writes into errors, never
+  // a SIGPIPE kill. send_all passes MSG_NOSIGNAL; ignore_sigpipe() backs
+  // up everything else.
+  ignore_sigpipe();
+  SocketPair sp;
+  sp.close_peer();
+  // Large enough to overflow the socket buffer so the kernel must
+  // surface EPIPE rather than accept the bytes.
+  const std::string big = encode_frame(FrameKind::kPing,
+                                       std::string(1 << 20, 'p'));
+  EXPECT_FALSE(send_all(sp.fds[0], big));
+  EXPECT_THROW(send_all_or_throw(sp.fds[0], big), IoError);
+  // Still alive to assert: SIGPIPE did not terminate the process.
+}
+
+TEST_F(Transport, InjectedSendShortFaultIsTypedIo) {
+  fault::configure("svc_send_short:1", 7);
+  SocketPair sp;
+  EXPECT_FALSE(send_all(sp.fds[0], "doomed"));
+  EXPECT_EQ(fault::fire_count("svc_send_short"), 1);
+  // After firing once the site is spent: the next send succeeds.
+  EXPECT_TRUE(send_all(sp.fds[0], "fine"));
+}
+
+TEST_F(Transport, InjectedRecvTornFaultReadsAsClosed) {
+  fault::configure("svc_recv_torn:1", 7);
+  SocketPair sp;
+  ASSERT_TRUE(send_all(sp.fds[1], encode_frame(FrameKind::kPing, "x")));
+  FrameReader reader;
+  Frame frame;
+  // The bytes arrived, but the injected tear discards them mid-frame —
+  // exactly what a mid-read connection reset looks like to callers.
+  EXPECT_EQ(reader.read(sp.fds[0], &frame, 1000), ReadOutcome::kClosed);
+  EXPECT_EQ(fault::fire_count("svc_recv_torn"), 1);
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+}  // namespace
+}  // namespace sdf::svc
