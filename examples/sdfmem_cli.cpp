@@ -57,6 +57,14 @@
 // check) and `--hot-mb N` (in-memory LRU hot tier over the disk cache;
 // 0 disables, default 32).
 //
+// Adaptive control (docs/CONTROL.md): `serve --control-interval N` (ms)
+// runs the feedback controller that replaces the static `--cost-ms`
+// admission estimate with a measured per-size EWMA and nudges the
+// degradation trip points and per-tenant share boosts within hard
+// clamps; `--control off` pins every knob at its static default.
+// `--record file` journals every request as a sdfmem.trace.v1 trace for
+// deterministic replay via bench/trace_replay.
+//
 // `--jobs N` sets the worker-thread count for the parallel paths (design-
 // space exploration in `explore`, the two pipeline sides in `report`, the
 // serve compile pool); N must be a positive integer — leave the flag
@@ -129,6 +137,8 @@ void usage() {
       "                  [--deadline-ms N] [--dp-mem-mb N]\n"
       "                  [--tenants-config file.json] [--worker-id name]\n"
       "                  [--hot-mb N] [--scrub-interval N]\n"
+      "                  [--control on|off] [--control-interval N]\n"
+      "                  [--record trace.journal]\n"
       "       sdfmem_cli route [--socket path] [--port N]\n"
       "                  --worker [id@]{path|tcp:PORT} [--worker ...]\n"
       "                  [--health-ms N] [--worker-timeout-ms N]\n"
@@ -295,6 +305,10 @@ int main(int argc, char** argv) {
   int breaker_threshold = 3;
   std::int64_t retry_budget = 32;
   int scrub_interval_ms = 0;
+  int control_interval_ms = 0;
+  bool control_on = true;
+  bool control_flag_seen = false;
+  std::string record_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
@@ -490,6 +504,35 @@ int main(int argc, char** argv) {
       const auto v = parse_count("--scrub-interval", argv[++i]);
       if (!v) return kUsageExit;
       scrub_interval_ms = static_cast<int>(*v);
+    } else if (arg == "--control-interval") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = parse_positive("--control-interval", argv[++i]);
+      if (!v) return kUsageExit;
+      control_interval_ms = static_cast<int>(*v);
+    } else if (arg == "--control") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      const auto v = util::parse_on_off(argv[i + 1]);
+      if (!v) {
+        std::fprintf(stderr, "error: --control expects on|off, got %s\n",
+                     argv[i + 1]);
+        usage();
+        return kUsageExit;
+      }
+      ++i;
+      control_on = *v;
+      control_flag_seen = true;
+    } else if (arg == "--record") {
+      if (i + 1 >= argc) {
+        usage();
+        return kUsageExit;
+      }
+      record_path = argv[++i];
     } else if (arg == "--stats") {
       stats_request = true;
     } else if (arg == "--json") {
@@ -542,6 +585,14 @@ int main(int argc, char** argv) {
       sopts.budget = budget;
       sopts.worker_id = worker_id;
       sopts.scrub_interval_ms = scrub_interval_ms;
+      sopts.control = control_on;
+      // `--control on` alone enables the loop at the documented default
+      // interval; `--control-interval N` sets both.
+      if (control_flag_seen && control_on && control_interval_ms == 0) {
+        control_interval_ms = 1000;
+      }
+      sopts.control_interval_ms = control_interval_ms;
+      sopts.record_path = record_path;
       if (hot_mb >= 0) sopts.hot_tier_bytes = hot_mb * (1ll << 20);
       if (!tenants_config_path.empty()) {
         const Result<svc::qos::TenantRegistry> registry =

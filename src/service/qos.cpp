@@ -284,13 +284,58 @@ AdmissionController::AdmissionController(TenantRegistry registry,
   }
 }
 
-std::int64_t AdmissionController::share_ms(const std::string& tenant) const {
+std::int64_t AdmissionController::share_ms_locked(
+    const std::string& tenant) const {
   const TenantSettings* settings = registry_.find(tenant);
   if (settings == nullptr) return 0;
   const double total = registry_.total_weight();
   if (total <= 0) return 0;
-  return static_cast<std::int64_t>(
+  std::int64_t share = static_cast<std::int64_t>(
       static_cast<double>(options_.capacity_ms) * settings->weight / total);
+  const auto it = boost_x1000_.find(tenant);
+  if (it != boost_x1000_.end()) share = share * it->second / 1000;
+  return share;
+}
+
+std::int64_t AdmissionController::share_ms(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return share_ms_locked(tenant);
+}
+
+void AdmissionController::set_trip_points(std::int64_t capped_x1000,
+                                          std::int64_t degraded_x1000) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capped_x1000_ = std::clamp<std::int64_t>(capped_x1000, 100, 1000);
+  degraded_x1000_ = std::clamp<std::int64_t>(degraded_x1000, 100, 1000);
+  if (degraded_x1000_ < capped_x1000_) degraded_x1000_ = capped_x1000_;
+}
+
+void AdmissionController::set_share_boost(const std::string& tenant,
+                                          std::int64_t boost_x1000) {
+  std::lock_guard<std::mutex> lock(mu_);
+  boost_x1000 = std::clamp<std::int64_t>(boost_x1000, 1000, 4000);
+  if (boost_x1000 == 1000) {
+    boost_x1000_.erase(tenant);
+  } else {
+    boost_x1000_[tenant] = boost_x1000;
+  }
+}
+
+std::int64_t AdmissionController::capped_x1000() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capped_x1000_;
+}
+
+std::int64_t AdmissionController::degraded_x1000() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_x1000_;
+}
+
+std::int64_t AdmissionController::share_boost_x1000(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = boost_x1000_.find(tenant);
+  return it == boost_x1000_.end() ? 1000 : it->second;
 }
 
 void AdmissionController::dispatch_locked(std::int64_t now_us) {
@@ -318,7 +363,7 @@ AdmissionController::Ticket AdmissionController::acquire(
     ticket.status = Ticket::Status::kUnknownTenant;
     return ticket;
   }
-  ticket.share_ms = share_ms(tenant);
+  ticket.share_ms = share_ms_locked(tenant);
   std::int64_t& backlog = backlog_ms_[tenant];
   if (backlog + cost_ms > ticket.share_ms) {
     ticket.status = Ticket::Status::kOverloaded;
@@ -326,13 +371,14 @@ AdmissionController::Ticket AdmissionController::acquire(
   }
   const std::int64_t after = backlog + cost_ms;
   // Per-tenant pressure drives the same degradation ladder the global
-  // queue used to: past 1/2 of the tenant's share cap the optimizer,
-  // past 3/4 force the flat tier. One tenant's pressure never taints
-  // another's tier.
+  // queue used to, at trip points the adaptive controller can move
+  // (docs/CONTROL.md). The defaults 500/750 are exactly the historical
+  // `after*2 >= share` / `after*4 >= share*3` integer comparisons. One
+  // tenant's pressure never taints another's tier.
   if (ticket.share_ms > 0) {
-    if (after * 4 >= ticket.share_ms * 3) {
+    if (after * 1000 >= ticket.share_ms * degraded_x1000_) {
       ticket.tier = PressureTier::kDegraded;
-    } else if (after * 2 >= ticket.share_ms) {
+    } else if (after * 1000 >= ticket.share_ms * capped_x1000_) {
       ticket.tier = PressureTier::kCapped;
     }
   }

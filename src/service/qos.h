@@ -217,11 +217,13 @@ class AdmissionController {
   };
 
   /// How close a tenant is to its share; the server maps tiers onto the
-  /// compile degradation ladder.
+  /// compile degradation ladder. The trip points default to the
+  /// historical 1/2 and 3/4 of the share and are movable at runtime by
+  /// the adaptive controller (set_trip_points, docs/CONTROL.md).
   enum class PressureTier {
-    kNormal,    ///< below 1/2 of the tenant share
-    kCapped,    ///< >= 1/2 of share: cap the loop optimizer at kDppo
-    kDegraded,  ///< >= 3/4 of share: force kFlat + topological order
+    kNormal,    ///< below the capped trip point of the tenant share
+    kCapped,    ///< >= capped point: cap the loop optimizer at kDppo
+    kDegraded,  ///< >= degraded point: force kFlat + topological order
   };
 
   struct Ticket {
@@ -248,10 +250,30 @@ class AdmissionController {
   /// fair order and blocked acquirers wake. Irreversible; idempotent.
   void drain() noexcept;
 
+  /// Moves the degradation-ladder trip points, as exact milli-fractions
+  /// of a tenant's share (docs/CONTROL.md). The historical constants are
+  /// capped=500 (1/2) and degraded=750 (3/4); integer comparison keeps
+  /// 500/750 bit-identical to the old `after*2 >= share` / `after*4 >=
+  /// share*3` tests. Values are clamped into [100, 1000] and reordered
+  /// so capped <= degraded — the controller's own clamps are tighter;
+  /// these are the hard floor under ANY caller.
+  void set_trip_points(std::int64_t capped_x1000,
+                       std::int64_t degraded_x1000);
+  /// Per-tenant share multiplier (x1000), clamped into [1000, 4000];
+  /// 1000 restores the pure weighted share. Boosts only ever relax a
+  /// tenant's backlog cap — the slot count and the scheduler's weighted
+  /// fairness still bound global work.
+  void set_share_boost(const std::string& tenant, std::int64_t boost_x1000);
+  [[nodiscard]] std::int64_t capped_x1000() const;
+  [[nodiscard]] std::int64_t degraded_x1000() const;
+  [[nodiscard]] std::int64_t share_boost_x1000(
+      const std::string& tenant) const;
+
   [[nodiscard]] const TenantRegistry& registry() const noexcept {
     return registry_;
   }
-  /// `capacity_ms * weight / total_weight` for a registered tenant.
+  /// `capacity_ms * weight / total_weight` for a registered tenant,
+  /// times its share boost.
   [[nodiscard]] std::int64_t share_ms(const std::string& tenant) const;
   /// Queued + running compiles (the service.queue_depth gauge).
   [[nodiscard]] std::int64_t total_depth() const;
@@ -260,6 +282,7 @@ class AdmissionController {
 
  private:
   void dispatch_locked(std::int64_t now_us);
+  [[nodiscard]] std::int64_t share_ms_locked(const std::string& tenant) const;
 
   TenantRegistry registry_;
   Options options_;
@@ -271,6 +294,10 @@ class AdmissionController {
   std::map<std::uint64_t, bool> granted_;  ///< seq -> picked by scheduler
   std::int64_t running_ = 0;
   bool draining_ = false;
+  /// Adaptive-control knobs (guarded by mu_, see set_trip_points).
+  std::int64_t capped_x1000_ = 500;
+  std::int64_t degraded_x1000_ = 750;
+  std::map<std::string, std::int64_t> boost_x1000_;
 };
 
 }  // namespace sdf::svc::qos

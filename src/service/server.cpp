@@ -17,6 +17,7 @@
 #include "sdf/io.h"
 #include "service/transport.h"
 #include "util/fault.h"
+#include "util/hash.h"
 #include "util/shutdown.h"
 
 namespace sdf::svc {
@@ -43,6 +44,17 @@ void LatencyHistogram::record(std::int64_t us) noexcept {
   sum_us += us;
 }
 
+LatencyHistogram LatencyHistogram::delta_since(
+    const LatencyHistogram& earlier) const noexcept {
+  LatencyHistogram delta;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    delta.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  delta.count = count - earlier.count;
+  delta.sum_us = sum_us - earlier.sum_us;
+  return delta;
+}
+
 std::int64_t LatencyHistogram::percentile_us(double p) const noexcept {
   if (count <= 0) return 0;
   const double target = p / 100.0 * static_cast<double>(count);
@@ -57,8 +69,11 @@ std::int64_t LatencyHistogram::percentile_us(double p) const noexcept {
   return kLatencyBucketUs.back() * 10;
 }
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), controller_(options_.controller) {
   if (options_.default_cost_ms <= 0) options_.default_cost_ms = 1;
+  window_start_ = std::chrono::steady_clock::now();
+  trace_start_ = window_start_;
   if (!options_.cache_dir.empty()) {
     cache_.emplace(options_.cache_dir);
     if (options_.hot_tier_bytes > 0) hot_.emplace(options_.hot_tier_bytes);
@@ -76,6 +91,7 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 Server::~Server() {
   stop();
   if (scrub_.joinable()) scrub_.join();
+  if (control_.joinable()) control_.join();
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (std::thread& t : connections_) {
@@ -114,6 +130,13 @@ void Server::start() {
   }
   if (cache_.has_value() && options_.scrub_interval_ms > 0) {
     scrub_ = std::thread([this] { scrub_loop(); });
+  }
+  if (!options_.record_path.empty()) {
+    recorder_ = TraceWriter::create(options_.record_path);
+    trace_start_ = std::chrono::steady_clock::now();
+  }
+  if (control_enabled()) {
+    control_ = std::thread([this] { control_loop(); });
   }
 }
 
@@ -250,11 +273,25 @@ void Server::handle_compile(int fd, std::string_view payload) {
   // Latency is attributed per tenant once the request names one; until
   // then (frame/JSON errors) it lands on `public`.
   std::string tenant{qos::kPublicTenant};
+  // Trace skeleton (docs/CONTROL.md); every return path below goes
+  // through finish(), which appends it when recording is on.
+  TraceRecord rec;
+  rec.lane = fd;
+  rec.outcome = "error";
   const auto finish = [&] {
     record_latency(tenant,
                    std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - started)
                        .count());
+    if (recorder_ != nullptr) {
+      rec.tick_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        started - trace_start_)
+                        .count();
+      if (rec.tick_us < 0) rec.tick_us = 0;
+      rec.tenant = tenant;
+      rec.request.assign(payload.data(), payload.size());
+      record_trace(rec);
+    }
   };
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -314,6 +351,9 @@ void Server::handle_compile(int fd, std::string_view payload) {
   const std::string canonical = write_graph_text(g);
   const std::string fingerprint = option_fingerprint(req);
   const std::uint64_t key = cache_key(canonical, fingerprint);
+  rec.key_hex = key_hex(key);
+  rec.actors = static_cast<std::int64_t>(g.num_actors());
+  rec.deadline_ms = req.deadline_ms;
 
   if (cache_.has_value()) {
     if (std::optional<std::string> hit = cache_fetch(key)) {
@@ -324,6 +364,9 @@ void Server::handle_compile(int fd, std::string_view payload) {
         ++stats_.responses_ok;
       }
       obs::count("service.tenant." + tenant + ".cache_hits");
+      rec.outcome = "hit";
+      rec.full_fidelity = true;  // the cache only holds full fidelity
+      rec.response_hash = key_hex(util::fnv1a64(*hit));
       send_frame(fd, FrameKind::kCompileResponse, *hit);
       finish();
       return;
@@ -336,12 +379,24 @@ void Server::handle_compile(int fd, std::string_view payload) {
     obs::count("service.tenant." + tenant + ".cache_misses");
   }
 
-  const std::int64_t cost_ms =
-      req.deadline_ms > 0 ? req.deadline_ms : options_.default_cost_ms;
+  // Admission cost: the request's own deadline when it has one; else the
+  // measured per-size-bucket EWMA while the controller is on (falling
+  // back to --cost-ms until the bucket has a sample), else --cost-ms.
+  std::int64_t cost_ms;
+  if (req.deadline_ms > 0) {
+    cost_ms = req.deadline_ms;
+  } else if (control_enabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cost_ms = cost_model_.estimate_ms(rec.actors, options_.default_cost_ms);
+  } else {
+    cost_ms = options_.default_cost_ms;
+  }
+  rec.cost_ms = cost_ms;
   const qos::AdmissionController::Ticket ticket =
       admission_->acquire(tenant, cost_ms);
   if (ticket.status !=
       qos::AdmissionController::Ticket::Status::kGranted) {
+    rec.outcome = "overloaded";
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.overloaded;
@@ -418,15 +473,25 @@ void Server::handle_compile(int fd, std::string_view payload) {
   }
   const bool governed = budget.deadline_ms > 0 || budget.dp_mem_bytes > 0;
 
+  std::int64_t wall_ns = 0;
   const auto run_compile = [&]() -> Result<CompileResult> {
     const obs::Span span("service.compile");
-    if (!governed) return compile_checked(g, effective);
-    // The governor scope is process-global; budgeted compiles serialize
-    // so concurrent scopes cannot cross-restore.
-    std::lock_guard<std::mutex> lock(governed_mu_);
-    ResourceGovernor governor(budget);
-    const ResourceGovernor::Scope scope(governor);
-    return compile_checked(g, effective);
+    // Measured wall time feeds the admission cost model; it brackets the
+    // compile only, not queueing or response framing.
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<CompileResult> result = [&] {
+      if (!governed) return compile_checked(g, effective);
+      // The governor scope is process-global; budgeted compiles
+      // serialize so concurrent scopes cannot cross-restore.
+      std::lock_guard<std::mutex> lock(governed_mu_);
+      ResourceGovernor governor(budget);
+      const ResourceGovernor::Scope scope(governor);
+      return compile_checked(g, effective);
+    }();
+    wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    return result;
   };
 
   std::optional<Result<CompileResult>> outcome;
@@ -444,6 +509,15 @@ void Server::handle_compile(int fd, std::string_view payload) {
   }
   admission_->release(ticket);
   note_queue_depth();
+  rec.wall_ns = wall_ns;
+  {
+    // The model learns whatever compile actually ran — degraded tiers
+    // included — which is exactly what the next admission decision for a
+    // similarly-sized graph will cost under the same load.
+    std::lock_guard<std::mutex> lock(mu_);
+    cost_model_.record(rec.actors, wall_ns);
+  }
+  obs::count("service.cost_model.samples");
 
   if (!outcome->ok()) {
     send_error(fd, outcome->error());
@@ -488,9 +562,13 @@ void Server::handle_compile(int fd, std::string_view payload) {
   // Only full-fidelity compiles enter the cache: a shed- or
   // budget-degraded result depends on transient load and must never be
   // replayed as the canonical answer for this key.
-  const bool cacheable = cache_.has_value() && !shedded &&
-                         res.degradation_path().empty() &&
-                         !res.order_degraded;
+  const bool full_fidelity =
+      !shedded && res.degradation_path().empty() && !res.order_degraded;
+  const bool cacheable = cache_.has_value() && full_fidelity;
+  rec.outcome = "ok";
+  rec.shed = shedded;
+  rec.full_fidelity = full_fidelity;
+  if (full_fidelity) rec.response_hash = key_hex(util::fnv1a64(response));
   if (cacheable) {
     // Cache-bytes quota (docs/TENANCY.md): a tenant over its insert
     // quota stops adding entries but keeps reading — the cache is
@@ -579,6 +657,103 @@ void Server::scrub_loop() {
       for (const std::uint64_t key : quarantined) hot_->erase(key);
     }
   }
+}
+
+void Server::record_trace(const TraceRecord& record) {
+  try {
+    recorder_->append(record);
+  } catch (const std::exception&) {
+    // Recording is observability, not correctness: a full disk must not
+    // fail the request it was describing.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++trace_errors_;
+  }
+}
+
+void Server::control_loop() {
+  for (;;) {
+    for (int waited = 0;
+         waited < options_.control_interval_ms && !stop_requested();
+         waited += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (stop_requested()) return;
+    control_tick();
+  }
+}
+
+ControlWindow Server::snapshot_window_locked() const {
+  const auto now = std::chrono::steady_clock::now();
+  ControlWindow w;
+  w.window_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - window_start_)
+                    .count();
+  w.requests = stats_.requests - window_base_.requests;
+  w.responses_ok = stats_.responses_ok - window_base_.responses_ok;
+  w.cache_hits = stats_.cache_hits - window_base_.cache_hits;
+  w.cache_misses = stats_.cache_misses - window_base_.cache_misses;
+  w.overloaded = stats_.overloaded - window_base_.overloaded;
+  w.shed_degraded = stats_.shed_degraded - window_base_.shed_degraded;
+  w.errors = stats_.errors - window_base_.errors;
+  w.latency = stats_.latency.delta_since(window_base_.latency);
+  for (const auto& [name, ts] : stats_.tenants) {
+    const auto base = window_base_.tenants.find(name);
+    const std::int64_t base_req =
+        base == window_base_.tenants.end() ? 0 : base->second.requests;
+    const std::int64_t base_ov =
+        base == window_base_.tenants.end() ? 0 : base->second.overloaded;
+    if (ts.requests != base_req) {
+      w.tenant_requests[name] = ts.requests - base_req;
+    }
+    if (ts.overloaded != base_ov) {
+      w.tenant_overloaded[name] = ts.overloaded - base_ov;
+    }
+  }
+  w.counters = counter_window_.snapshot("service.");
+  window_base_ = stats_;
+  window_start_ = now;
+  last_window_ = w;
+  return w;
+}
+
+ctl::Decision Server::control_tick() {
+  ctl::IntervalMetrics metrics;
+  ctl::Decision decision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const ControlWindow w = snapshot_window_locked();
+    metrics.requests = w.requests;
+    metrics.overloaded = w.overloaded;
+    metrics.shed_degraded = w.shed_degraded;
+    metrics.cache_hits = w.cache_hits;
+    metrics.p95_us = w.latency.percentile_us(95);
+    metrics.tenant_requests = w.tenant_requests;
+    metrics.tenant_overloaded = w.tenant_overloaded;
+    decision = controller_.tick(metrics);
+    last_decision_ = decision;
+  }
+  // Apply outside mu_: the admission controller has its own lock and
+  // must never nest inside the stats mutex.
+  admission_->set_trip_points(decision.knobs.capped_x1000,
+                              decision.knobs.degraded_x1000);
+  for (const auto& [name, settings] : admission_->registry().tenants()) {
+    const auto it = decision.knobs.boost_x1000.find(name);
+    admission_->set_share_boost(
+        name, it == decision.knobs.boost_x1000.end() ? 1000 : it->second);
+  }
+  obs::count("service.control.ticks");
+  if (decision.adjustments > 0) {
+    obs::count("service.control.adjustments", decision.adjustments);
+  }
+  if (decision.clamped > 0) {
+    obs::count("service.control.clamped", decision.clamped);
+  }
+  obs::gauge("service.control.capped_x1000", decision.knobs.capped_x1000);
+  obs::gauge("service.control.degraded_x1000",
+             decision.knobs.degraded_x1000);
+  obs::gauge("service.control.utility_x1000", decision.utility_x1000);
+  obs::gauge("service.control.shed_x1000", decision.shed_x1000);
+  return decision;
 }
 
 // Fleet peering (docs/SERVICE.md "Fleet mode"): the router asks this
@@ -766,6 +941,108 @@ std::string Server::stats_json() const {
     tenants[name] = std::move(t);
   }
   doc["tenants"] = std::move(tenants);
+  // Reset-on-snapshot monitoring window plus the sdfmem.controlstats.v1
+  // object (docs/CONTROL.md). When the control loop is running it owns
+  // the window cadence and stats reports the last completed interval;
+  // otherwise each stats call advances the window itself.
+  ControlWindow w;
+  ctl::Decision last;
+  ctl::CostModel cost_model;
+  std::int64_t ctl_ticks = 0;
+  std::int64_t ctl_adjustments = 0;
+  std::int64_t ctl_clamped = 0;
+  std::int64_t trace_errors = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    w = control_enabled() ? last_window_ : snapshot_window_locked();
+    last = last_decision_;
+    cost_model = cost_model_;
+    ctl_ticks = controller_.ticks();
+    ctl_adjustments = controller_.adjustments();
+    ctl_clamped = controller_.clamped();
+    trace_errors = trace_errors_;
+  }
+  obs::Json window = obs::Json::object();
+  window["window_ms"] = w.window_ms;
+  window["requests"] = w.requests;
+  window["responses_ok"] = w.responses_ok;
+  window["cache_hits"] = w.cache_hits;
+  window["cache_misses"] = w.cache_misses;
+  window["overloaded"] = w.overloaded;
+  window["shed_degraded"] = w.shed_degraded;
+  window["errors"] = w.errors;
+  obs::Json window_latency = obs::Json::object();
+  window_latency["count"] = w.latency.count;
+  window_latency["p50_us"] = w.latency.percentile_us(50);
+  window_latency["p95_us"] = w.latency.percentile_us(95);
+  window_latency["p99_us"] = w.latency.percentile_us(99);
+  window["latency"] = std::move(window_latency);
+  obs::Json window_tenant_requests = obs::Json::object();
+  for (const auto& [name, value] : w.tenant_requests) {
+    window_tenant_requests[name] = value;
+  }
+  window["tenant_requests"] = std::move(window_tenant_requests);
+  obs::Json window_tenant_overloaded = obs::Json::object();
+  for (const auto& [name, value] : w.tenant_overloaded) {
+    window_tenant_overloaded[name] = value;
+  }
+  window["tenant_overloaded"] = std::move(window_tenant_overloaded);
+  obs::Json window_counters = obs::Json::object();
+  for (const auto& [name, value] : w.counters) {
+    window_counters[name] = value;
+  }
+  window["counters"] = std::move(window_counters);
+  doc["window"] = std::move(window);
+  obs::Json control = obs::Json::object();
+  control["schema"] = "sdfmem.controlstats.v1";
+  control["enabled"] = control_enabled();
+  control["interval_ms"] = options_.control_interval_ms;
+  control["ticks"] = ctl_ticks;
+  control["adjustments"] = ctl_adjustments;
+  control["clamped"] = ctl_clamped;
+  // Knob readbacks come from admission itself — what is actually being
+  // enforced, not what the controller last asked for.
+  control["capped_x1000"] = admission_->capped_x1000();
+  control["degraded_x1000"] = admission_->degraded_x1000();
+  obs::Json boosts = obs::Json::object();
+  for (const auto& [name, settings] : admission_->registry().tenants()) {
+    const std::int64_t boost = admission_->share_boost_x1000(name);
+    if (boost != 1000) boosts[name] = boost;
+  }
+  control["boosts_x1000"] = std::move(boosts);
+  obs::Json last_decision = obs::Json::object();
+  last_decision["reason"] = last.reason.empty() ? "none" : last.reason;
+  last_decision["shed_x1000"] = last.shed_x1000;
+  last_decision["degraded_x1000"] = last.degraded_x1000;
+  last_decision["utility_x1000"] = last.utility_x1000;
+  last_decision["adjustments"] = last.adjustments;
+  last_decision["clamped"] = last.clamped;
+  control["last_decision"] = std::move(last_decision);
+  obs::Json cost = obs::Json::object();
+  cost["source"] = control_enabled() ? "ewma" : "static";
+  cost["static_cost_ms"] = options_.default_cost_ms;
+  obs::Json cost_buckets = obs::Json::array();
+  for (int b = 0; b < ctl::kCostBuckets; ++b) {
+    const ctl::CostBucket& bucket = cost_model.buckets()[b];
+    obs::Json entry = obs::Json::object();
+    entry["min_actors"] = ctl::cost_bucket_floor(b);
+    entry["samples"] = bucket.samples;
+    entry["ewma_ns"] = bucket.ewma_ns;
+    entry["estimate_ms"] = cost_model.estimate_ms(ctl::cost_bucket_floor(b),
+                                                  options_.default_cost_ms);
+    cost_buckets.push_back(std::move(entry));
+  }
+  cost["buckets"] = std::move(cost_buckets);
+  control["cost_model"] = std::move(cost);
+  obs::Json recording = obs::Json::object();
+  recording["active"] = recorder_ != nullptr;
+  if (recorder_ != nullptr) {
+    recording["path"] = recorder_->path();
+    recording["records"] = recorder_->records();
+  }
+  recording["errors"] = trace_errors;
+  control["recording"] = std::move(recording);
+  doc["control"] = std::move(control);
   return doc.dump(2);
 }
 

@@ -54,6 +54,14 @@
 // copies — silent disk corruption becomes a clean miss followed by a
 // recompile, never a served wrong answer.
 //
+// Adaptive control (docs/CONTROL.md): with `--control-interval N` a
+// housekeeping thread ticks the feedback controller (service/control.h)
+// every N ms over that interval's delta metrics; it replaces the static
+// `--cost-ms` admission estimate with the measured per-size-bucket EWMA
+// and nudges the ladder trip points and per-tenant share boosts within
+// hard clamps. `--record <file>` journals every request as a
+// sdfmem.trace.v1 record (service/trace.h) for deterministic replay.
+//
 // Telemetry (docs/OBSERVABILITY.md): service.requests,
 // service.cache.{hits,misses,inserts,corrupt}, the scrubber family
 // service.cache.{scrub_passes,scrub_quarantined,write_failures},
@@ -68,6 +76,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -77,11 +86,14 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.h"
 #include "pipeline/governor.h"
 #include "service/cache.h"
+#include "service/control.h"
 #include "service/hot_tier.h"
 #include "service/protocol.h"
 #include "service/qos.h"
+#include "service/trace.h"
 #include "util/thread_pool.h"
 
 namespace sdf::svc {
@@ -123,6 +135,20 @@ struct ServerOptions {
   /// `--tenants-config` replaces it with a parsed sdfmem.tenants.v1
   /// document.
   qos::TenantRegistry tenants;
+  /// Monitoring interval of the adaptive controller (docs/CONTROL.md);
+  /// <= 0 disables the control loop entirely (`--control-interval`).
+  int control_interval_ms = 0;
+  /// Master switch (`--control off`): false pins every knob at its
+  /// static default even when an interval is configured. With the
+  /// controller off the cost model is still *recorded* (so `stats` can
+  /// show how wrong --cost-ms is) but never *used* for admission.
+  bool control = true;
+  /// Controller thresholds/clamps; the defaults are the documented
+  /// control law.
+  ctl::ControllerConfig controller;
+  /// When nonempty, journal every compile request to this sdfmem.trace.v1
+  /// file (`serve --record`, service/trace.h). Refuses to overwrite.
+  std::string record_path;
 };
 
 /// Upper bucket bounds (microseconds) of the request-latency histogram;
@@ -139,6 +165,10 @@ struct LatencyHistogram {
   /// Upper-bound estimate of the p-th percentile (p in [0, 100]); 0 when
   /// empty. Resolution is the bucket granularity.
   [[nodiscard]] std::int64_t percentile_us(double p) const noexcept;
+  /// Elementwise difference against an earlier snapshot of the same
+  /// histogram — the reset-on-snapshot window view (docs/CONTROL.md).
+  [[nodiscard]] LatencyHistogram delta_since(
+      const LatencyHistogram& earlier) const noexcept;
 };
 
 /// Per-tenant slice of the server counters. Only registered tenants get
@@ -178,6 +208,26 @@ struct ServerStats {
   std::map<std::string, TenantStats> tenants;
 };
 
+/// One monitoring interval's delta over the server stats — what the
+/// controller consumes and what `stats_json()` exposes as "window".
+/// Every field is "since the previous snapshot", never a lifetime total.
+struct ControlWindow {
+  std::int64_t window_ms = 0;
+  std::int64_t requests = 0;
+  std::int64_t responses_ok = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t overloaded = 0;
+  std::int64_t shed_degraded = 0;
+  std::int64_t errors = 0;
+  LatencyHistogram latency;  ///< delta histogram (window percentiles)
+  std::map<std::string, std::int64_t> tenant_requests;
+  std::map<std::string, std::int64_t> tenant_overloaded;
+  /// service.* counter deltas (obs::CounterWindow); empty when the
+  /// telemetry session is disabled.
+  std::map<std::string, std::int64_t> counters;
+};
+
 class Server {
  public:
   explicit Server(ServerOptions options);
@@ -207,6 +257,18 @@ class Server {
   /// Live stats as the kStatsResponse JSON document.
   [[nodiscard]] std::string stats_json() const;
 
+  /// Whether the adaptive controller is live (`control` master switch
+  /// AND a positive interval).
+  [[nodiscard]] bool control_enabled() const noexcept {
+    return options_.control && options_.control_interval_ms > 0;
+  }
+
+  /// One controller interval: snapshot the window, tick the controller,
+  /// apply the knobs to admission, emit service.control.* telemetry.
+  /// The background control loop calls this every interval; tests and
+  /// the replay harness call it directly for deterministic stepping.
+  ctl::Decision control_tick();
+
  private:
   [[nodiscard]] bool stop_requested() const noexcept;
   void serve_connection(int fd);
@@ -223,6 +285,14 @@ class Server {
   bool cache_store(std::uint64_t key, std::string_view payload);
   /// Background scrubber body (see the file comment).
   void scrub_loop();
+  /// Background controller body: control_tick() every interval.
+  void control_loop();
+  /// Advances the reset-on-snapshot window (mutable state, mu_ held) and
+  /// returns the delta. Also refreshes last_window_ for stats_json().
+  ControlWindow snapshot_window_locked() const;
+  /// Appends to the request trace, swallowing (but counting) IO errors —
+  /// recording must never fail a request.
+  void record_trace(const TraceRecord& record);
   void send_frame(int fd, FrameKind kind, std::string_view payload);
   void send_error(int fd, const Diagnostic& diag);
   /// Records into the global histogram always, and into the tenant's
@@ -244,9 +314,23 @@ class Server {
   std::mutex conn_mu_;
   std::vector<std::thread> connections_;
   std::thread scrub_;
+  std::thread control_;
 
-  mutable std::mutex mu_;  ///< stats
+  mutable std::mutex mu_;  ///< stats + cost model + controller + window
   ServerStats stats_;
+  ctl::CostModel cost_model_;
+  ctl::Controller controller_;
+  ctl::Decision last_decision_;
+  /// Reset-on-snapshot window state; mutable because stats_json() (a
+  /// const read in spirit) advances the window when no control loop is
+  /// doing so.
+  mutable ServerStats window_base_;
+  mutable ControlWindow last_window_;
+  mutable obs::CounterWindow counter_window_;
+  mutable std::chrono::steady_clock::time_point window_start_;
+  std::chrono::steady_clock::time_point trace_start_;
+  std::unique_ptr<TraceWriter> recorder_;
+  std::int64_t trace_errors_ = 0;  ///< append failures (guarded by mu_)
 
   /// Budgeted compiles serialize on this: the ResourceGovernor scope is
   /// process-global, so two concurrent scopes would cross-restore.

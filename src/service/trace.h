@@ -1,0 +1,122 @@
+// Deterministic request tracing for sdfmemd (docs/CONTROL.md).
+//
+// `serve --record <file>` journals one record per compile request —
+// arrival tick, connection lane, tenant, canonical cache key, outcome,
+// measured compile wall time, and the raw request payload — as
+// CRC-framed `sdfmem.trace.v1` records on the crash-consistent journal
+// (util/journal.h). A trace is therefore:
+//
+//   * replayable: every record carries the exact kCompileRequest bytes,
+//     so `bench/trace_replay` can re-issue the identical workload
+//     against a live daemon at 1x/2x/4x time compression;
+//   * verifiable: full-fidelity responses record an FNV-1a hash of the
+//     response payload, so a replay can assert byte-identity without
+//     storing the (much larger) response bytes;
+//   * simulatable: measured wall-ns per degradation tier feed the
+//     virtual-time simulator (service/control.h) that evaluates
+//     controller policies deterministically.
+//
+// Strictness: a trace consumed for replay must be complete. Unlike the
+// batch journal — where a torn tail is expected crash debris —
+// read_trace() treats a torn tail, a wrong header schema, or an
+// unparseable record as a typed error (CorruptJournalError / ParseError),
+// because replaying a silently truncated workload would invalidate every
+// A/B conclusion drawn from it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/journal.h"
+#include "util/status.h"
+
+namespace sdf::svc {
+
+inline constexpr std::string_view kTraceSchema = "sdfmem.trace.v1";
+
+/// One request observed by the daemon (or synthesized by the bench).
+struct TraceRecord {
+  /// Arrival offset from the start of recording, microseconds. Replay
+  /// divides this by the compression factor to pace re-issue.
+  std::int64_t tick_us = 0;
+  /// Stable per-connection lane id; replay uses one client per lane so
+  /// per-lane request order is preserved exactly.
+  std::int64_t lane = 0;
+  std::string tenant;        ///< resolved tenant ("" = public)
+  std::string key_hex;       ///< canonical cache key; "" when unparsed
+  /// "ok" | "hit" | "overloaded" | "error" — what the recording server
+  /// actually answered. Replay outcomes may differ (that is the point).
+  std::string outcome;
+  bool shed = false;         ///< served at a load-degraded tier
+  bool full_fidelity = false;  ///< response carried no degradation marker
+  std::int64_t deadline_ms = 0;  ///< request deadline (admission cost basis)
+  std::int64_t cost_ms = 0;      ///< admission cost the recorder charged
+  std::int64_t actors = 0;       ///< graph size (cost-model bucket basis)
+  /// Measured compile wall time at the tier actually served; 0 for
+  /// hits/rejects. The *_capped/*_degraded variants are optional (0 =
+  /// unknown) and only populated by the bench capture pass, where each
+  /// key is compiled once per tier so the simulator can model the
+  /// speedup a degraded tier buys.
+  std::int64_t wall_ns = 0;
+  std::int64_t wall_ns_capped = 0;
+  std::int64_t wall_ns_degraded = 0;
+  /// FNV-1a 64 of the full-fidelity response payload, as 16 hex chars
+  /// ("" when the response was degraded or errored).
+  std::string response_hash;
+  /// The exact kCompileRequest payload bytes, for re-issue.
+  std::string request;
+};
+
+/// Serialized record (one JSON object, fixed field order).
+[[nodiscard]] std::string encode_trace_record(const TraceRecord& record);
+
+/// Strict inverse of encode_trace_record; kParse diagnostic on malformed
+/// JSON, missing required fields, or wrong value types.
+[[nodiscard]] Result<TraceRecord> parse_trace_record(std::string_view text);
+
+/// Thread-safe appender: one durable journal record per request.
+/// create() refuses to overwrite an existing file (BadArgumentError), so
+/// a restarted daemon cannot silently splice two workloads into one
+/// trace.
+class TraceWriter {
+ public:
+  [[nodiscard]] static std::unique_ptr<TraceWriter> create(
+      const std::string& path);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const TraceRecord& record);
+
+  [[nodiscard]] std::int64_t records() const;
+  [[nodiscard]] const std::string& path() const noexcept {
+    return journal_.path();
+  }
+
+ private:
+  explicit TraceWriter(util::JournalWriter journal)
+      : journal_(std::move(journal)) {}
+
+  mutable std::mutex mu_;
+  util::JournalWriter journal_;
+  std::int64_t count_ = 0;
+};
+
+/// A fully-validated trace, sorted by (tick_us, lane, append order) — the
+/// byte-deterministic replay order.
+struct Trace {
+  std::vector<TraceRecord> records;
+};
+
+/// Reads and validates a trace file. Throws IoError (unreadable),
+/// CorruptJournalError (bad magic, wrong schema, torn tail), or
+/// ParseError (malformed record) — truncated or corrupt traces are
+/// rejected, never partially replayed.
+[[nodiscard]] Trace read_trace(const std::string& path);
+
+}  // namespace sdf::svc

@@ -30,6 +30,17 @@ namespace sdf::util {
   return value;
 }
 
+/// Parses an on/off switch flag value ("on" -> true, "off" -> false).
+/// Anything else — including "true", "1", "ON" — is nullopt: switch
+/// flags are documented as exactly on|off, and a tolerant parser would
+/// let "of" silently enable a subsystem the operator meant to disable.
+[[nodiscard]] constexpr std::optional<bool> parse_on_off(
+    std::string_view text) noexcept {
+  if (text == "on") return true;
+  if (text == "off") return false;
+  return std::nullopt;
+}
+
 /// Validates a tenant id (docs/TENANCY.md): 1-64 chars drawn from
 /// [a-z0-9_-]. The charset is deliberately tight — tenant names become
 /// telemetry counter segments ("service.tenant.<name>.requests") and JSON

@@ -406,6 +406,20 @@ TEST(Errors, StrictFlagParsingRejectsWhatAtoiAccepted) {
   EXPECT_EQ(util::parse_positive_flag("4"), 4);
 }
 
+TEST(Errors, SwitchFlagParsingIsExactlyOnOff) {
+  // --control routes through util::parse_on_off; the switch is
+  // documented as exactly on|off, so truthy spellings and typos are
+  // usage errors (exit 2), never a silently-guessed state.
+  EXPECT_EQ(util::parse_on_off("on"), true);
+  EXPECT_EQ(util::parse_on_off("off"), false);
+  EXPECT_FALSE(util::parse_on_off("ON"));
+  EXPECT_FALSE(util::parse_on_off("Off"));
+  EXPECT_FALSE(util::parse_on_off("1"));
+  EXPECT_FALSE(util::parse_on_off("true"));
+  EXPECT_FALSE(util::parse_on_off("of"));  // the typo that motivates strict
+  EXPECT_FALSE(util::parse_on_off(""));
+}
+
 TEST(Errors, TenantNameValidation) {
   // Tenant ids become counter segments and JSON keys (util/flags.h), so
   // the charset is pinned: 1-64 of [a-z0-9_-].

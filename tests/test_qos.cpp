@@ -348,6 +348,50 @@ TEST(AdmissionController, PressureTiersTrackTheTenantShare) {
   EXPECT_EQ(controller.backlog_ms("public"), 0);
 }
 
+TEST(AdmissionController, MovableTripPointsReshapeTheLadder) {
+  AdmissionController controller(TenantRegistry{}, {4, 4000});
+  // Untouched, the trips are the historical 1/2 and 3/4 constants.
+  EXPECT_EQ(controller.capped_x1000(), 500);
+  EXPECT_EQ(controller.degraded_x1000(), 750);
+
+  // Lower them (the controller's relief move): the same 1000/4000
+  // backlog that was kNormal at the 1/2 point trips capped at 0.25.
+  controller.set_trip_points(250, 400);
+  const auto a = controller.acquire("public", 1000);
+  EXPECT_EQ(a.tier, AdmissionController::PressureTier::kCapped);
+  const auto b = controller.acquire("public", 1000);
+  EXPECT_EQ(b.tier, AdmissionController::PressureTier::kDegraded);
+  controller.release(a);
+  controller.release(b);
+
+  // Hard floor under ANY caller: clamped into [100, 1000], reordered.
+  controller.set_trip_points(5, 2000);
+  EXPECT_EQ(controller.capped_x1000(), 100);
+  EXPECT_EQ(controller.degraded_x1000(), 1000);
+  controller.set_trip_points(900, 300);
+  EXPECT_LE(controller.capped_x1000(), controller.degraded_x1000());
+}
+
+TEST(AdmissionController, ShareBoostRelaxesOneTenantsBacklogCap) {
+  AdmissionController controller(TenantRegistry{}, {4, 8000});
+  const auto rejected = controller.acquire("public", 8100);
+  EXPECT_EQ(rejected.status,
+            AdmissionController::Ticket::Status::kOverloaded);
+
+  controller.set_share_boost("public", 1500);
+  EXPECT_EQ(controller.share_ms("public"), 12000);
+  const auto granted = controller.acquire("public", 8100);
+  EXPECT_EQ(granted.status, AdmissionController::Ticket::Status::kGranted);
+  controller.release(granted);
+
+  // Clamped into [1000, 4000]; 1000 removes the boost entirely.
+  controller.set_share_boost("public", 9999);
+  EXPECT_EQ(controller.share_boost_x1000("public"), 4000);
+  controller.set_share_boost("public", 500);
+  EXPECT_EQ(controller.share_boost_x1000("public"), 1000);
+  EXPECT_EQ(controller.share_ms("public"), 8000);
+}
+
 TEST(AdmissionController, SlotLimitSerializesGrants) {
   AdmissionController controller(TenantRegistry{}, {1, 100'000});
   const auto first = controller.acquire("public", 1000);

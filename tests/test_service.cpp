@@ -23,7 +23,9 @@
 #include "service/protocol.h"
 #include "service/qos.h"
 #include "service/server.h"
+#include "service/trace.h"
 #include "service/transport.h"
+#include "util/hash.h"
 #include "util/shutdown.h"
 
 namespace sdf::svc {
@@ -895,6 +897,116 @@ TEST(Service, HotTierDisabledStillServesFromDisk) {
   EXPECT_EQ(hot.value(), cold.value());
   const ServerStats stats = running.server->stats();
   EXPECT_EQ(stats.cache_hits, 1);
+}
+
+// --------------------------------------------------- adaptive control
+
+TEST(Service, RecordedTraceReplaysTheRequestStream) {
+  Scratch scratch;
+  const std::string trace_path = scratch.dir + "/requests.trace";
+  std::string cold;
+  {
+    ServerOptions opts;
+    opts.socket_path = scratch.socket_path();
+    opts.cache_dir = scratch.cache_dir();
+    opts.record_path = trace_path;
+    RunningServer running(opts);
+    Client client({scratch.socket_path(), 0});
+    const Result<std::string> miss = client.compile(tiny_request());
+    ASSERT_TRUE(miss.ok());
+    cold = miss.value();
+    const Result<std::string> hit = client.compile(tiny_request());
+    ASSERT_TRUE(hit.ok());
+  }  // stop() drains before the journal handle closes
+
+  const Trace trace = read_trace(trace_path);
+  ASSERT_EQ(trace.records.size(), 2u);
+  const TraceRecord& miss = trace.records[0];
+  const TraceRecord& hit = trace.records[1];
+  EXPECT_EQ(miss.outcome, "ok");
+  EXPECT_EQ(hit.outcome, "hit");
+  EXPECT_GE(hit.tick_us, miss.tick_us);
+  EXPECT_EQ(miss.tenant, "public");
+  EXPECT_EQ(miss.actors, 2);
+  EXPECT_GT(miss.wall_ns, 0);  // a real compile ran and was measured
+  EXPECT_EQ(hit.wall_ns, 0);   // a hit compiles nothing
+
+  // Full-fidelity responses carry the byte-identity hash replay checks.
+  EXPECT_TRUE(miss.full_fidelity);
+  EXPECT_EQ(miss.response_hash, key_hex(util::fnv1a64(cold)));
+  EXPECT_EQ(hit.response_hash, miss.response_hash);
+
+  // The recorded payload is the exact request, ready for re-issue.
+  const Result<CompileRequest> replayed = parse_compile_request(miss.request);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().graph_text, kTinyGraph);
+  EXPECT_FALSE(miss.key_hex.empty());
+  EXPECT_EQ(miss.key_hex, hit.key_hex);
+}
+
+TEST(Service, StatsExposeControlPlaneAndCostModel) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  RunningServer running(opts);
+  Client client({scratch.socket_path(), 0});
+  ASSERT_TRUE(client.compile(tiny_request()).ok());
+
+  const obs::Json doc = obs::Json::parse(client.stats());
+  ASSERT_NE(doc.find("control"), nullptr);
+  const obs::Json& control = *doc.find("control");
+  EXPECT_EQ(control.find("schema")->as_string(), "sdfmem.controlstats.v1");
+  // Default daemon: controller off, static admission costs, no recording.
+  EXPECT_FALSE(control.find("enabled")->as_bool());
+  const obs::Json& cost = *control.find("cost_model");
+  EXPECT_EQ(cost.find("source")->as_string(), "static");
+  EXPECT_FALSE(control.find("recording")->find("active")->as_bool());
+
+  // The model measures even while the controller is off: the compile
+  // above seeded the 2-actor bucket with its real wall time.
+  std::int64_t samples = 0;
+  for (const obs::Json& bucket : cost.find("buckets")->elements()) {
+    samples += bucket.find("samples")->as_int();
+  }
+  EXPECT_EQ(samples, 1);
+
+  // The interval window rides along in the same document.
+  ASSERT_NE(doc.find("window"), nullptr);
+  EXPECT_EQ(doc.find("window")->find("requests")->as_int(), 1);
+}
+
+TEST(Service, ControlTickMovesTheAdmissionKnobs) {
+  Scratch scratch;
+  ServerOptions opts;
+  opts.socket_path = scratch.socket_path();
+  opts.cache_dir = scratch.cache_dir();
+  opts.control = true;
+  opts.control_interval_ms = 3'600'000;  // tick manually, not on a timer
+  RunningServer running(opts);
+  ASSERT_TRUE(running.server->control_enabled());
+
+  // An idle window is "quiet": the controller must hold every knob.
+  const ctl::Decision quiet = running.server->control_tick();
+  EXPECT_EQ(quiet.reason, "quiet");
+  EXPECT_EQ(quiet.knobs.capped_x1000, 500);
+
+  // Shed-heavy windows (driven synthetically through the public tick so
+  // the test owns the metrics) walk the real admission trip points.
+  Client client({scratch.socket_path(), 0});
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client.compile(tiny_request()).ok());
+  }
+  const ctl::Decision busy = running.server->control_tick();
+  EXPECT_EQ(busy.reason, "hold");  // healthy traffic: no knee-jerk moves
+
+  const obs::Json doc = obs::Json::parse(client.stats());
+  const obs::Json& control = *doc.find("control");
+  EXPECT_TRUE(control.find("enabled")->as_bool());
+  EXPECT_GE(control.find("ticks")->as_int(), 2);
+  EXPECT_EQ(control.find("cost_model")->find("source")->as_string(), "ewma");
+  EXPECT_EQ(control.find("capped_x1000")->as_int(), 500);
+  EXPECT_EQ(control.find("degraded_x1000")->as_int(), 750);
 }
 
 }  // namespace
